@@ -1,0 +1,42 @@
+"""Extension bench: within-case vs across-case parallelism.
+
+The paper parallelises inside one inference; its 2000-case workload also
+admits running whole cases concurrently.  This bench compares the two
+axes at the same worker count — across-case wins when cliques are small
+(no dispatch inside the case), within-case wins when single cliques
+dominate the runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_networks, bench_threads, workload
+from repro.core import FastBNI
+
+_NETWORK = bench_networks()[0]
+
+
+def test_batch_sequential_loop(benchmark):
+    wl = workload(_NETWORK)
+    with FastBNI(wl.net, mode="seq") as engine:
+        benchmark.pedantic(engine.infer_batch, args=(wl.cases,),
+                           kwargs={"case_workers": 1},
+                           rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_batch_across_cases(benchmark, threads):
+    wl = workload(_NETWORK)
+    with FastBNI(wl.net, mode="seq") as engine:
+        benchmark.pedantic(engine.infer_batch, args=(wl.cases,),
+                           kwargs={"case_workers": threads},
+                           rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_batch_within_cases(benchmark, threads):
+    wl = workload(_NETWORK)
+    with FastBNI(wl.net, mode="hybrid", backend="thread",
+                 num_workers=threads) as engine:
+        benchmark.pedantic(engine.infer_batch, args=(wl.cases,),
+                           kwargs={"case_workers": 1},
+                           rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,35 @@
+"""Fig B: inter vs intra vs hybrid across junction-tree structures (§1/§2).
+
+The paper's argument: inter-clique parallelism degrades on deep trees with
+few cliques per layer, intra-clique on trees of many small cliques; the
+hybrid is competitive on all shapes.  Four structure extremes exercise it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import bench_threads
+from repro.bench.ablations import structure_networks
+from repro.bn.sampling import generate_test_cases
+from repro.core import FastBNI
+
+MODES = ("seq", "inter", "intra", "hybrid")
+_NETS = structure_networks()
+_IDS = {label: label.split(" ")[0] for label in _NETS}
+
+_CASES = list(itertools.product(_NETS, MODES))
+
+
+@pytest.mark.parametrize("structure,mode", _CASES,
+                         ids=[f"{_IDS[s]}-{m}" for s, m in _CASES])
+def test_granularity(benchmark, structure, mode):
+    net = _NETS[structure]
+    case = generate_test_cases(net, 1, 0.2, rng=11)[0]
+    backend = "serial" if mode == "seq" else "thread"
+    with FastBNI(net, mode=mode, backend=backend,
+                 num_workers=bench_threads()) as engine:
+        benchmark.pedantic(engine.infer, args=(case.evidence,),
+                           rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,34 @@
+"""Fig E: parallelization overhead vs network scale (paper §3).
+
+The paper observes that on small networks (Hailfinder: < 4 s total) the
+parallelization overhead is a large fraction of runtime, so Fast-BNI-par's
+advantage shrinks.  This bench pins seq vs par on the smallest and largest
+selected networks at a fixed thread count.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import bench_networks, bench_threads, workload
+from repro.bench.runner import make_engine
+
+_NETS = (bench_networks()[0], bench_networks()[-1])
+_CASES = list(itertools.product(_NETS, ("fastbni-seq", "fastbni-par")))
+
+
+@pytest.mark.parametrize("network,engine_kind", _CASES,
+                         ids=[f"{n}-{e}" for n, e in _CASES])
+def test_overhead(benchmark, network, engine_kind):
+    wl = workload(network)
+    engine = make_engine(engine_kind, wl.net, bench_threads())
+    case = wl.cases[0]
+    try:
+        benchmark.pedantic(engine.infer, args=(case.evidence,),
+                           rounds=3, iterations=1, warmup_rounds=1)
+    finally:
+        close = getattr(engine, "close", None)
+        if close:
+            close()

@@ -1,0 +1,30 @@
+"""Fig C: the paper's root-selection strategy vs a naive first-clique root.
+
+Root selection minimises the number of BFS layers and therefore the number
+of parallel invocations (paper §2).  Benchmarked on the deepest analog
+trees where the effect is largest.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import bench_networks, bench_threads, workload
+from repro.core import FastBNI
+
+STRATEGIES = ("first", "center")
+_CASES = list(itertools.product(bench_networks(), STRATEGIES))
+
+
+@pytest.mark.parametrize("network,strategy", _CASES,
+                         ids=[f"{n}-{s}" for n, s in _CASES])
+def test_root_selection(benchmark, network, strategy):
+    wl = workload(network)
+    with FastBNI(wl.net, mode="hybrid", backend="thread",
+                 num_workers=bench_threads(), root_strategy=strategy) as engine:
+        case = wl.cases[0]
+        benchmark.extra_info["num_layers"] = engine.schedule.num_layers
+        benchmark.pedantic(engine.infer, args=(case.evidence,),
+                           rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,44 @@
+"""Table 1: per-case inference time of every engine on every network.
+
+Each benchmark measures one (network, engine) cell of the paper's Table 1.
+The UnBBayes-style baseline is pure Python and orders of magnitude slower;
+it runs with a single round so the suite stays tractable.
+
+Full-scale run::
+
+    FASTBNI_BENCH_NETWORKS=hailfinder,pathfinder,diabetes,pigs,munin2,munin4 \
+        pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import bench_networks, bench_threads, workload
+from repro.bench.runner import make_engine
+
+ENGINES = ("unbbayes", "fastbni-seq", "direct", "primitive", "element", "fastbni-par")
+
+_CASES = list(itertools.product(bench_networks(), ENGINES))
+
+
+@pytest.mark.parametrize("network,engine_kind", _CASES,
+                         ids=[f"{n}-{e}" for n, e in _CASES])
+def test_table1_cell(benchmark, network, engine_kind):
+    wl = workload(network)
+    engine = make_engine(engine_kind, wl.net, bench_threads())
+    case = wl.cases[0]
+    try:
+        if engine_kind == "unbbayes":
+            # One round: the pure-Python pass is ~100-1000× slower.
+            benchmark.pedantic(engine.infer, args=(case.evidence,),
+                               rounds=1, iterations=1)
+        else:
+            benchmark.pedantic(engine.infer, args=(case.evidence,),
+                               rounds=3, iterations=1, warmup_rounds=1)
+    finally:
+        close = getattr(engine, "close", None)
+        if close:
+            close()

@@ -1,0 +1,26 @@
+"""Fig A: Fast-BNI-par execution time vs thread count (paper §3).
+
+The paper reports Fast-BNI-par reaching its best time at t=32 on large
+networks; this sweep reproduces the curve's shape on the analogs (the
+Python substrate saturates earlier — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_networks, workload
+from repro.core import FastBNI
+
+THREADS = (1, 2, 4, 8, 16)
+_NETWORK = bench_networks()[-1]  # the largest of the selected set
+
+
+@pytest.mark.parametrize("t", THREADS, ids=[f"t{t}" for t in THREADS])
+def test_thread_scaling(benchmark, t):
+    wl = workload(_NETWORK)
+    backend = "serial" if t == 1 else "thread"
+    with FastBNI(wl.net, mode="hybrid", backend=backend, num_workers=t) as engine:
+        case = wl.cases[0]
+        benchmark.pedantic(engine.infer, args=(case.evidence,),
+                           rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Workloads and engines are session-scoped: compile cost is paid once per
+(network, engine) pair, matching how the paper amortises setup over its
+2000-case batches.  Benchmarks measure *per-case inference time*.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Environment knobs:
+
+* ``FASTBNI_BENCH_NETWORKS`` — comma-separated subset of the six networks
+  (default: hailfinder,pathfinder,pigs — the quick set; add
+  diabetes,munin2,munin4 for the full Table 1);
+* ``FASTBNI_BENCH_THREADS`` — thread count for parallel engines (default 8).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workload import build_workload
+
+QUICK_NETWORKS = ("hailfinder", "pathfinder", "pigs")
+
+
+def bench_networks() -> tuple[str, ...]:
+    env = os.environ.get("FASTBNI_BENCH_NETWORKS")
+    if env:
+        return tuple(n.strip() for n in env.split(",") if n.strip())
+    return QUICK_NETWORKS
+
+
+def bench_threads() -> int:
+    return int(os.environ.get("FASTBNI_BENCH_THREADS", "8"))
+
+
+_WORKLOADS: dict[str, object] = {}
+
+
+def workload(name: str):
+    if name not in _WORKLOADS:
+        _WORKLOADS[name] = build_workload(name, num_cases=3)
+    return _WORKLOADS[name]
+
+
+@pytest.fixture(scope="session")
+def threads() -> int:
+    return bench_threads()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package and no network access, so
+``pip install -e .`` cannot build a modern editable wheel.  The shim lets
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+once wheel is available) install the package from pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

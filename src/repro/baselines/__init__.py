@@ -1,0 +1,44 @@
+"""Comparison implementations and correctness oracles.
+
+The paper's Table 1 compares Fast-BNI against four existing systems; each
+is re-implemented here from its published description (see DESIGN.md for
+the substitution notes):
+
+* :mod:`repro.baselines.unbbayes` — UnBBayes-style sequential Hugin JT
+  (straightforward pure-Python, no index-map/NumPy inner kernels);
+* :mod:`repro.baselines.direct` — Kozlov & Singh '94 coarse-grained
+  inter-clique parallelism;
+* :mod:`repro.baselines.primitive` — Xia & Prasanna '07 node-level
+  primitives (fine-grained, per-table-op parallel loops);
+* :mod:`repro.baselines.element` — Zheng '13 element-wise parallelism
+  (GPU threads → vectorised element kernels).
+
+Plus two independent oracles used only for correctness:
+
+* :mod:`repro.baselines.enumeration` — brute-force joint enumeration;
+* :mod:`repro.baselines.variable_elimination` — sum-product VE.
+
+Submodules are imported lazily so that e.g. the oracles can be used in
+isolation.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+_EXPORTS = {
+    "UnBBayesEngine": "repro.baselines.unbbayes",
+    "DirectEngine": "repro.baselines.direct",
+    "PrimitiveEngine": "repro.baselines.primitive",
+    "ElementEngine": "repro.baselines.element",
+    "EnumerationEngine": "repro.baselines.enumeration",
+    "VariableEliminationEngine": "repro.baselines.variable_elimination",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        return getattr(import_module(_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,67 @@
+"""Brute-force inference by joint enumeration — the ground-truth oracle.
+
+Materialises the full joint distribution (exponential in network size) and
+answers queries by direct summation.  Usable only for networks whose joint
+fits in memory (≤ ~20 binary variables); every other engine is validated
+against it on small networks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.errors import EvidenceError, NetworkError
+from repro.jt.engine import InferenceResult
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.ops import marginalize, multiply_into, reduce_evidence_inplace
+
+#: Refuse joints larger than this many entries.
+MAX_JOINT_SIZE = 8_000_000
+
+
+class EnumerationEngine:
+    """Exact inference by materialising the joint distribution."""
+
+    name = "enumeration"
+
+    def __init__(self, net: BayesianNetwork) -> None:
+        net.validate()
+        self.net = net
+        joint_size = 1
+        for v in net.variables:
+            joint_size *= v.cardinality
+        if joint_size > MAX_JOINT_SIZE:
+            raise NetworkError(
+                f"joint has {joint_size} entries; enumeration supports "
+                f"at most {MAX_JOINT_SIZE}"
+            )
+        self.domain = Domain(net.variables)
+        joint = Potential(self.domain)
+        for cpt in net.cpts:
+            multiply_into(joint, Potential.from_cpt(cpt))
+        self.joint = joint
+
+    def infer(
+        self,
+        evidence: dict[str, str | int] | None = None,
+        targets: tuple[str, ...] = (),
+    ) -> InferenceResult:
+        work = self.joint.copy()
+        if evidence:
+            for name in evidence:
+                if name not in self.net:
+                    raise EvidenceError(f"evidence variable {name!r} not in network")
+            reduce_evidence_inplace(work, dict(evidence))
+        p_e = float(work.values.sum())
+        if p_e <= 0.0:
+            raise EvidenceError("evidence has zero probability")
+        names = targets or self.net.variable_names
+        posteriors: dict[str, np.ndarray] = {}
+        for name in names:
+            marg = marginalize(work, (name,))
+            posteriors[name] = marg.values / p_e
+        return InferenceResult(posteriors=posteriors, log_evidence=math.log(p_e))

@@ -1,0 +1,22 @@
+"""Benchmark harness reproducing the paper's evaluation (see DESIGN.md).
+
+* :mod:`repro.bench.workload` — the paper's test-case workload
+  (N random cases, 20% observed variables per case);
+* :mod:`repro.bench.runner` — engine registry + timing loops, including
+  the paper's best-of-t thread sweep;
+* :mod:`repro.bench.table1` — the Table 1 driver;
+* :mod:`repro.bench.ablations` — thread-scaling / granularity /
+  root-selection / overhead studies backing the paper's §2–§3 claims;
+* :mod:`repro.bench.report` — plain-text table rendering.
+"""
+
+from repro.bench.runner import ENGINE_FACTORIES, make_engine, time_engine
+from repro.bench.workload import Workload, build_workload
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "ENGINE_FACTORIES",
+    "make_engine",
+    "time_engine",
+]

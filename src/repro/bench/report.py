@@ -1,0 +1,44 @@
+"""Plain-text table rendering for the benchmark drivers."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-scaled duration."""
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60:.1f}min"
+
+
+def fmt_speedup(x: float) -> str:
+    """Format a speedup ratio as e.g. ``2.5x`` (NaN → ``-``)."""
+    if x != x:
+        return "-"
+    return f"{x:.1f}x"

@@ -1,0 +1,110 @@
+"""Engine registry and timing loops.
+
+``ENGINE_FACTORIES`` maps Table-1 column names to constructors with a
+uniform ``(net, num_workers) -> engine`` signature.  :func:`time_engine`
+measures per-case inference wall time (compile excluded — it is shared
+across the batch, matching how FastBN amortises it over 2000 cases);
+:func:`best_of_threads` applies the paper's methodology of sweeping the
+thread count and keeping the fastest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.direct import DirectEngine
+from repro.baselines.element import ElementEngine
+from repro.baselines.primitive import PrimitiveEngine
+from repro.baselines.unbbayes import UnBBayesEngine
+from repro.bn.network import BayesianNetwork
+from repro.bn.sampling import TestCase
+from repro.core import FastBNI
+from repro.utils.timing import Timer, TimingStats
+
+EngineFactory = Callable[[BayesianNetwork, int], object]
+
+#: The paper's thread sweep (t from 1 to 32).
+THREAD_SWEEP = (1, 2, 4, 8, 16, 32)
+
+
+def _fastbni(mode: str) -> EngineFactory:
+    def make(net: BayesianNetwork, num_workers: int):
+        if mode == "seq":
+            return FastBNI(net, mode="seq")
+        backend = "serial" if num_workers == 1 else "thread"
+        return FastBNI(net, mode=mode, backend=backend, num_workers=num_workers)
+
+    return make
+
+
+#: Table-1 columns.  Sequential engines ignore ``num_workers``.
+ENGINE_FACTORIES: dict[str, EngineFactory] = {
+    "unbbayes": lambda net, _t: UnBBayesEngine(net),
+    "fastbni-seq": _fastbni("seq"),
+    "direct": lambda net, t: DirectEngine(
+        net, backend="serial" if t == 1 else "thread", num_workers=t),
+    "primitive": lambda net, t: PrimitiveEngine(
+        net, backend="serial" if t == 1 else "thread", num_workers=t),
+    "element": lambda net, _t: ElementEngine(net),
+    "fastbni-par": _fastbni("hybrid"),
+    "fastbni-inter": _fastbni("inter"),
+    "fastbni-intra": _fastbni("intra"),
+}
+
+SEQUENTIAL_ENGINES = ("unbbayes", "fastbni-seq", "element")
+PARALLEL_ENGINES = ("direct", "primitive", "fastbni-par", "fastbni-inter", "fastbni-intra")
+
+
+def make_engine(kind: str, net: BayesianNetwork, num_workers: int = 1):
+    """Construct a registered engine by Table-1 column name."""
+    try:
+        factory = ENGINE_FACTORIES[kind]
+    except KeyError:
+        raise KeyError(f"unknown engine {kind!r}; available: {sorted(ENGINE_FACTORIES)}") from None
+    return factory(net, num_workers)
+
+
+def time_engine(engine, cases: list[TestCase], max_cases: int | None = None) -> TimingStats:
+    """Per-case inference wall times for an already-constructed engine."""
+    stats = TimingStats()
+    subset = cases if max_cases is None else cases[:max_cases]
+    for case in subset:
+        with Timer() as t:
+            engine.infer(case.evidence)
+        stats.add(t.elapsed)
+    return stats
+
+
+def run_engine(
+    kind: str,
+    net: BayesianNetwork,
+    cases: list[TestCase],
+    num_workers: int = 1,
+    max_cases: int | None = None,
+) -> TimingStats:
+    """Construct, time and tear down one engine configuration."""
+    engine = make_engine(kind, net, num_workers)
+    try:
+        return time_engine(engine, cases, max_cases=max_cases)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+
+def best_of_threads(
+    kind: str,
+    net: BayesianNetwork,
+    cases: list[TestCase],
+    sweep: tuple[int, ...] = THREAD_SWEEP,
+    max_cases: int | None = None,
+) -> tuple[int, TimingStats, dict[int, float]]:
+    """The paper's methodology: sweep t and keep the fastest configuration.
+
+    Returns ``(best_t, stats at best_t, {t: mean seconds})``.
+    """
+    results: dict[int, TimingStats] = {}
+    for t in sweep:
+        results[t] = run_engine(kind, net, cases, num_workers=t, max_cases=max_cases)
+    best_t = min(results, key=lambda t: results[t].mean)
+    return best_t, results[best_t], {t: s.mean for t, s in results.items()}

@@ -1,0 +1,143 @@
+"""The Table-1 driver: execution-time comparison across all engines.
+
+For each network it measures per-case inference time of the sequential
+implementations (UnBBayes-style, Fast-BNI-seq) and of the parallel
+implementations (Direct, Primitive, Element, Fast-BNI-par) — the parallel
+ones at their best thread count over the paper's sweep — then prints the
+paper's columns: times plus the Fast-BNI speedup over each comparator.
+
+Totals are extrapolated to the paper's 2000-case batch from per-case means
+(the paper's numbers are batch totals); per-case means are also shown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.report import fmt_seconds, fmt_speedup, format_table
+from repro.bench.runner import best_of_threads, run_engine
+from repro.bench.workload import PAPER_CASES, Workload, build_workload
+from repro.bn.repository import PAPER_NETWORKS
+
+#: Paper Table 1, for the side-by-side comparison in EXPERIMENTS.md:
+#: network -> (UnBBayes s, Fast-BNI-seq s, seq speedup,
+#:             Dir s, Prim s, Elem s, Fast-BNI-par s)
+PAPER_TABLE1 = {
+    "hailfinder": (28.3, 4.0, 7.1, 3.0, 3.2, 4.0, 2.5),
+    "pathfinder": (319.2, 68.9, 4.6, 40.5, 23.6, 27.8, 11.1),
+    "diabetes": (90961, 6944, 13.1, 3016, 2311, 3316, 558.6),
+    "pigs": (43714, 3729, 11.7, 3353, 1068, 2380, 221.7),
+    "munin2": (3054, 2643, 1.2, 1951, 934.7, 1638, 241.7),
+    "munin4": (258194, 34198, 7.6, 20364, 10348, 21398, 3021),
+}
+
+
+@dataclass
+class Table1Row:
+    """Measured per-case means (seconds) for one network."""
+
+    network: str
+    unbbayes: float
+    fastbni_seq: float
+    direct: float
+    primitive: float
+    element: float
+    fastbni_par: float
+    best_t: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def seq_speedup(self) -> float:
+        return self.unbbayes / self.fastbni_seq
+
+    def par_speedups(self) -> tuple[float, float, float]:
+        return (
+            self.direct / self.fastbni_par,
+            self.primitive / self.fastbni_par,
+            self.element / self.fastbni_par,
+        )
+
+
+def run_network(
+    name: str,
+    num_cases: int | None = None,
+    sweep: tuple[int, ...] = (1, 2, 4, 8),
+    unbbayes_cases: int = 2,
+    workload: Workload | None = None,
+) -> Table1Row:
+    """Measure every Table-1 engine on one network.
+
+    The UnBBayes-style baseline is orders of magnitude slower, so it runs
+    on a truncated case list (its per-case mean is still representative:
+    case-to-case variance is small because the table shapes are fixed).
+    """
+    wl = workload or build_workload(name, num_cases)
+    best_t: dict[str, int] = {}
+
+    unb = run_engine("unbbayes", wl.net, wl.cases, max_cases=unbbayes_cases)
+    seq = run_engine("fastbni-seq", wl.net, wl.cases)
+    elem = run_engine("element", wl.net, wl.cases)
+
+    t_dir, dir_stats, _ = best_of_threads("direct", wl.net, wl.cases, sweep)
+    best_t["direct"] = t_dir
+    t_prim, prim_stats, _ = best_of_threads("primitive", wl.net, wl.cases, sweep)
+    best_t["primitive"] = t_prim
+    t_par, par_stats, _ = best_of_threads("fastbni-par", wl.net, wl.cases, sweep)
+    best_t["fastbni-par"] = t_par
+
+    return Table1Row(
+        network=name,
+        unbbayes=unb.mean,
+        fastbni_seq=seq.mean,
+        direct=dir_stats.mean,
+        primitive=prim_stats.mean,
+        element=elem.mean,
+        fastbni_par=par_stats.mean,
+        best_t=best_t,
+    )
+
+
+def render_rows(rows: list[Table1Row], batch: int = PAPER_CASES) -> str:
+    """Render measured rows in the paper's Table-1 layout."""
+    headers = [
+        "BN", "UnBBayes", "FastBNI-seq", "Speedup",
+        "Dir.", "Prim.", "Elem.", "FastBNI-par",
+        "vs Dir.", "vs Prim.", "vs Elem.", "best t",
+    ]
+    out_rows = []
+    for r in rows:
+        sd, sp, se = r.par_speedups()
+        out_rows.append([
+            r.network,
+            fmt_seconds(r.unbbayes * batch),
+            fmt_seconds(r.fastbni_seq * batch),
+            fmt_speedup(r.seq_speedup),
+            fmt_seconds(r.direct * batch),
+            fmt_seconds(r.primitive * batch),
+            fmt_seconds(r.element * batch),
+            fmt_seconds(r.fastbni_par * batch),
+            fmt_speedup(sd),
+            fmt_speedup(sp),
+            fmt_speedup(se),
+            str(r.best_t.get("fastbni-par", "-")),
+        ])
+    return format_table(
+        headers, out_rows,
+        title=f"Table 1 (measured; totals extrapolated to {batch} cases)",
+    )
+
+
+def run_table1(
+    networks: tuple[str, ...] = PAPER_NETWORKS,
+    num_cases: int | None = None,
+    sweep: tuple[int, ...] = (1, 2, 4, 8),
+    verbose: bool = True,
+) -> list[Table1Row]:
+    """Run the full Table-1 sweep; prints progress per network."""
+    rows = []
+    for name in networks:
+        if verbose:
+            print(f"[table1] running {name} ...", flush=True)
+        rows.append(run_network(name, num_cases=num_cases, sweep=sweep))
+    if verbose:
+        print(render_rows(rows))
+    return rows

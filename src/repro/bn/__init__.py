@@ -1,0 +1,17 @@
+"""Discrete Bayesian-network substrate.
+
+This subpackage provides everything the inference engines need below the
+junction-tree level: variables and CPTs (:mod:`repro.bn.variable`,
+:mod:`repro.bn.cpt`), the network container (:mod:`repro.bn.network`),
+file I/O (:mod:`repro.bn.io_bif`, :mod:`repro.bn.io_net`), forward sampling
+and evidence generation (:mod:`repro.bn.sampling`), random-network
+generators (:mod:`repro.bn.generators`) and the registry of the paper's six
+evaluation networks as structure-matched synthetic analogs
+(:mod:`repro.bn.repository`).
+"""
+
+from repro.bn.cpt import CPT
+from repro.bn.network import BayesianNetwork
+from repro.bn.variable import Variable
+
+__all__ = ["Variable", "CPT", "BayesianNetwork"]

@@ -1,0 +1,112 @@
+"""Conditional probability tables.
+
+A :class:`CPT` stores ``P(child | parents)`` as a dense ``float64`` array of
+shape ``(card(p1), ..., card(pk), card(child))`` — parents first in the given
+order, child axis last.  This layout makes each conditional distribution a
+contiguous row (cache-friendly per the HPC guide) and converts directly into
+a :class:`repro.potential.factor.Potential` over ``parents + (child,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bn.variable import Variable
+from repro.errors import CPTError
+
+#: Tolerance used when validating that conditional rows sum to one.
+ROW_SUM_ATOL = 1e-8
+
+
+@dataclass(frozen=True)
+class CPT:
+    """An immutable conditional probability table ``P(child | parents)``."""
+
+    child: Variable
+    parents: tuple[Variable, ...]
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        parents = tuple(self.parents)
+        object.__setattr__(self, "parents", parents)
+        names = [v.name for v in (*parents, self.child)]
+        if len(set(names)) != len(names):
+            raise CPTError(f"duplicate variables in CPT for {self.child.name!r}: {names}")
+        expected = tuple(p.cardinality for p in parents) + (self.child.cardinality,)
+        table = np.ascontiguousarray(np.asarray(self.table, dtype=np.float64))
+        if table.shape != expected:
+            raise CPTError(
+                f"CPT for {self.child.name!r} has shape {table.shape}, "
+                f"expected {expected} (parents {[p.name for p in parents]})"
+            )
+        if np.any(table < 0) or not np.all(np.isfinite(table)):
+            raise CPTError(f"CPT for {self.child.name!r} has negative or non-finite entries")
+        sums = table.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=ROW_SUM_ATOL):
+            worst = float(np.abs(sums - 1.0).max())
+            raise CPTError(
+                f"CPT rows for {self.child.name!r} must sum to 1 "
+                f"(max deviation {worst:.3e})"
+            )
+        table.setflags(write=False)
+        object.__setattr__(self, "table", table)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """The CPT's scope, parents first, child last (potential order)."""
+        return (*self.parents, self.child)
+
+    @property
+    def size(self) -> int:
+        """Number of entries in the dense table."""
+        return int(self.table.size)
+
+    def prob(self, child_state: str | int, parent_states: dict[str, str | int] | None = None) -> float:
+        """Look up ``P(child = child_state | parents = parent_states)``."""
+        parent_states = parent_states or {}
+        idx: list[int] = []
+        for p in self.parents:
+            if p.name not in parent_states:
+                raise CPTError(f"missing parent state for {p.name!r}")
+            idx.append(p.state_index(parent_states[p.name]))
+        idx.append(self.child.state_index(child_state))
+        return float(self.table[tuple(idx)])
+
+    @classmethod
+    def uniform(cls, child: Variable, parents: tuple[Variable, ...] = ()) -> "CPT":
+        """A CPT where every conditional distribution is uniform."""
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        return cls(child, parents, np.full(shape, 1.0 / child.cardinality))
+
+    @classmethod
+    def random(
+        cls,
+        child: Variable,
+        parents: tuple[Variable, ...] = (),
+        rng: np.random.Generator | None = None,
+        concentration: float = 1.0,
+    ) -> "CPT":
+        """Draw each conditional row from a symmetric Dirichlet.
+
+        ``concentration < 1`` yields peaked (near-deterministic) rows, which
+        mimics the skewed CPTs of real diagnostic networks; ``1.0`` is
+        uniform over the simplex.
+        """
+        if rng is None:
+            rng = np.random.default_rng()
+        if concentration <= 0:
+            raise CPTError(f"concentration must be positive, got {concentration}")
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        rows = rng.gamma(concentration, size=shape)
+        # Guard against an all-zero row from underflow with tiny concentration.
+        rows = np.maximum(rows, 1e-12)
+        rows /= rows.sum(axis=-1, keepdims=True)
+        return cls(child, parents, rows)
+
+    def renormalized(self) -> "CPT":
+        """Return a copy with rows renormalised (repairs drift after edits)."""
+        t = np.array(self.table, dtype=np.float64)
+        t /= t.sum(axis=-1, keepdims=True)
+        return CPT(self.child, self.parents, t)

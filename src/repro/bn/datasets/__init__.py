@@ -1,0 +1,28 @@
+"""Bundled small real networks with published CPTs.
+
+These are the classic textbook networks whose parameters are public:
+
+* ``asia`` — Lauritzen & Spiegelhalter (1988) chest-clinic network;
+* ``cancer`` — Korb & Nicholson's cancer network;
+* ``sprinkler`` — the rain/sprinkler/wet-grass example.
+
+They serve as ground-truth fixtures: small enough for the brute-force
+oracle, real enough to exercise the BIF parser on authentic structure.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.bn import io_bif
+from repro.bn.network import BayesianNetwork
+
+BUNDLED = ("asia", "cancer", "sprinkler")
+
+
+def load_dataset(name: str) -> BayesianNetwork:
+    """Load a bundled network by name (see :data:`BUNDLED`)."""
+    if name not in BUNDLED:
+        raise KeyError(f"unknown bundled dataset {name!r}; available: {BUNDLED}")
+    text = resources.files(__package__).joinpath(f"{name}.bif").read_text()
+    return io_bif.loads(text)

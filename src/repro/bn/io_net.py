@@ -1,0 +1,236 @@
+"""Reader/writer for the Hugin ``.net`` network format.
+
+The second interchange format the bnlearn repository distributes (Munin is
+shipped as ``.net``).  Supported dialect::
+
+    net { }
+    node A {
+      states = ( "yes" "no" );
+    }
+    potential ( A | B C ) {
+      data = ((0.1 0.9) (0.4 0.6) ...);   % nested by parent states
+    }
+
+``data`` nesting follows Hugin's convention: outer parentheses iterate the
+*first* parent slowest, the child dimension is innermost — identical to our
+C-order CPT layout, so parsing is a flat read of the numbers with a count
+check.  Comments start with ``%``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.bn.cpt import CPT
+from repro.bn.network import BayesianNetwork
+from repro.bn.variable import Variable
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>%[^\n]*)
+  | (?P<punct>[{}()=;|])
+  | (?P<number>[-+]?(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?)
+  | (?P<string>"[^"]*")
+  | (?P<word>[A-Za-z_][A-Za-z0-9_\-.]*)
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Stream:
+    def __init__(self, text: str) -> None:
+        self.toks: list[tuple[str, str, int]] = []
+        line = 1
+        for m in _TOKEN_RE.finditer(text):
+            kind = m.lastgroup
+            value = m.group()
+            if kind in ("ws", "comment"):
+                line += value.count("\n")
+                continue
+            if kind == "bad":
+                raise ParseError(f"unexpected character {value!r}", line)
+            if kind == "string":
+                value = value[1:-1]
+            self.toks.append((kind, value, line))  # type: ignore[arg-type]
+            line += value.count("\n")
+        self.pos = 0
+
+    def peek(self):
+        return self.toks[self.pos] if self.pos < len(self.toks) else None
+
+    def next(self, expect: str | None = None):
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of file",
+                             self.toks[-1][2] if self.toks else 1)
+        self.pos += 1
+        if expect is not None and tok[1] != expect:
+            raise ParseError(f"expected {expect!r}, found {tok[1]!r}", tok[2])
+        return tok
+
+    def skip_balanced(self, open_tok: str = "{", close_tok: str = "}") -> None:
+        self.next(open_tok)
+        depth = 1
+        while depth:
+            _, value, _ = self.next()
+            if value == open_tok:
+                depth += 1
+            elif value == close_tok:
+                depth -= 1
+
+
+def loads(text: str) -> BayesianNetwork:
+    """Parse Hugin ``.net`` text into a validated network."""
+    s = _Stream(text)
+    name = "bn"
+    variables: dict[str, Variable] = {}
+    potentials: list[tuple[list[str], list[float], int]] = []
+
+    while s.peek() is not None:
+        kind, word, line = s.next()
+        if word == "net":
+            nxt = s.peek()
+            if nxt and nxt[1] != "{":
+                name = s.next()[1]
+            s.skip_balanced()
+        elif word == "node":
+            node_name = s.next()[1]
+            var = _parse_node(s, node_name, line)
+            if node_name in variables:
+                raise ParseError(f"duplicate node {node_name!r}", line)
+            variables[node_name] = var
+        elif word == "potential":
+            potentials.append(_parse_potential(s, line))
+        else:
+            raise ParseError(f"unexpected top-level keyword {word!r}", line)
+
+    net = BayesianNetwork(name)
+    for var in variables.values():
+        net.add_variable(var)
+    for scope, values, pline in potentials:
+        try:
+            child = variables[scope[0]]
+            parents = tuple(variables[p] for p in scope[1:])
+        except KeyError as exc:
+            raise ParseError(f"potential references unknown node {exc.args[0]!r}", pline)
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        expected = int(np.prod(shape)) if shape else 1
+        if len(values) != expected:
+            raise ParseError(
+                f"potential for {child.name!r} has {len(values)} values, "
+                f"expected {expected}", pline)
+        net.add_cpt(CPT(child, parents, np.asarray(values).reshape(shape)))
+    return net.validate()
+
+
+def _parse_node(s: _Stream, name: str, line: int) -> Variable:
+    s.next("{")
+    states: tuple[str, ...] | None = None
+    while True:
+        kind, value, vline = s.next()
+        if value == "}":
+            break
+        if value == "states":
+            s.next("=")
+            s.next("(")
+            labels: list[str] = []
+            while True:
+                kind, value, _ = s.next()
+                if value == ")":
+                    break
+                labels.append(value)
+            s.next(";")
+            states = tuple(labels)
+        else:
+            # Unknown field (position, label, ...): skip to ';'.
+            while s.next()[1] != ";":
+                pass
+    if states is None:
+        raise ParseError(f"node {name!r} has no states declaration", line)
+    return Variable(name, states)
+
+
+def _parse_potential(s: _Stream, line: int) -> tuple[list[str], list[float], int]:
+    s.next("(")
+    scope: list[str] = []
+    while True:
+        kind, value, _ = s.next()
+        if value == ")":
+            break
+        if value == "|":
+            continue
+        scope.append(value)
+    if not scope:
+        raise ParseError("empty potential scope", line)
+    s.next("{")
+    values: list[float] = []
+    saw_data = False
+    while True:
+        kind, value, vline = s.next()
+        if value == "}":
+            break
+        if value == "data":
+            saw_data = True
+            s.next("=")
+            depth = 0
+            while True:
+                kind, value, _ = s.next()
+                if value == "(":
+                    depth += 1
+                elif value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif kind == "number":
+                    values.append(float(value))
+                else:
+                    raise ParseError(f"unexpected token {value!r} in data", vline)
+            s.next(";")
+        else:
+            while s.next()[1] != ";":
+                pass
+    if not saw_data:
+        raise ParseError(f"potential for {scope[0]!r} has no data", line)
+    return scope, values, line
+
+
+def load(path: str | Path) -> BayesianNetwork:
+    """Parse a ``.net`` file."""
+    return loads(Path(path).read_text())
+
+
+def dumps(net: BayesianNetwork) -> str:
+    """Serialise to Hugin ``.net`` (nested-parenthesis data blocks)."""
+    out = io.StringIO()
+    out.write(f"net {net.name}\n{{\n}}\n")
+    for v in net.variables:
+        labels = " ".join(f'"{s}"' for s in v.states)
+        out.write(f"node {v.name}\n{{\n  states = ( {labels} );\n}}\n")
+    for v in net.variables:
+        cpt = net.cpt(v.name)
+        if cpt.parents:
+            scope = f"{v.name} | {' '.join(p.name for p in cpt.parents)}"
+        else:
+            scope = v.name
+        out.write(f"potential ( {scope} )\n{{\n  data = ")
+        out.write(_nested(cpt.table))
+        out.write(";\n}\n")
+    return out.getvalue()
+
+
+def _nested(arr: np.ndarray) -> str:
+    if arr.ndim == 1:
+        return "( " + " ".join(repr(float(x)) for x in arr) + " )"
+    return "( " + " ".join(_nested(sub) for sub in arr) + " )"
+
+
+def dump(net: BayesianNetwork, path: str | Path) -> None:
+    """Write a network to a ``.net`` file."""
+    Path(path).write_text(dumps(net))

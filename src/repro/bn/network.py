@@ -1,0 +1,211 @@
+"""The Bayesian-network container: a DAG of variables plus one CPT per node.
+
+:class:`BayesianNetwork` is deliberately a *builder* object — variables and
+CPTs are added incrementally (as parsers and generators produce them) and
+:meth:`BayesianNetwork.validate` checks global consistency (acyclicity,
+full CPT coverage).  Inference engines treat a validated network as
+read-only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.bn.cpt import CPT
+from repro.bn.variable import Variable
+from repro.errors import NetworkError
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network.
+
+    The network maps each variable to its :class:`~repro.bn.cpt.CPT`; edges
+    are implied by CPT parent sets.  Variable insertion order is preserved
+    and used as the default iteration order everywhere, which keeps all
+    downstream structures (junction trees, benchmarks) deterministic.
+    """
+
+    def __init__(self, name: str = "bn") -> None:
+        self.name = name
+        self._variables: dict[str, Variable] = {}
+        self._cpts: dict[str, CPT] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_variable(self, variable: Variable) -> Variable:
+        """Register a variable; re-adding the identical variable is a no-op."""
+        existing = self._variables.get(variable.name)
+        if existing is not None:
+            if existing != variable:
+                raise NetworkError(
+                    f"variable {variable.name!r} already exists with different states"
+                )
+            return existing
+        self._variables[variable.name] = variable
+        return variable
+
+    def add_cpt(self, cpt: CPT) -> None:
+        """Attach a CPT; all scope variables must already be registered."""
+        for v in cpt.variables:
+            known = self._variables.get(v.name)
+            if known is None:
+                raise NetworkError(
+                    f"CPT for {cpt.child.name!r} references unknown variable {v.name!r}"
+                )
+            if known != v:
+                raise NetworkError(
+                    f"CPT for {cpt.child.name!r} uses variable {v.name!r} "
+                    "with mismatched states"
+                )
+        if cpt.child.name in self._cpts:
+            raise NetworkError(f"duplicate CPT for {cpt.child.name!r}")
+        self._cpts[cpt.child.name] = cpt
+
+    # ------------------------------------------------------------------ views
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables in insertion order."""
+        return tuple(self._variables.values())
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(self._variables)
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise NetworkError(f"unknown variable {name!r}") from None
+
+    def cpt(self, name: str) -> CPT:
+        try:
+            return self._cpts[name]
+        except KeyError:
+            raise NetworkError(f"no CPT for variable {name!r}") from None
+
+    @property
+    def cpts(self) -> tuple[CPT, ...]:
+        """CPTs in variable insertion order (only for variables that have one)."""
+        return tuple(self._cpts[n] for n in self._variables if n in self._cpts)
+
+    def parents(self, name: str) -> tuple[Variable, ...]:
+        return self.cpt(name).parents
+
+    def children(self, name: str) -> tuple[Variable, ...]:
+        self.variable(name)
+        return tuple(
+            self._variables[c] for c, cpt in self._cpts.items()
+            if any(p.name == name for p in cpt.parents)
+        )
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Yield directed edges ``(parent, child)`` in deterministic order."""
+        for child, cpt in self._cpts.items():
+            for p in cpt.parents:
+                yield (p.name, child)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(c.parents) for c in self._cpts.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._variables
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._variables.values())
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    # ------------------------------------------------------------- validation
+    def topological_order(self) -> list[Variable]:
+        """Kahn's algorithm; raises :class:`NetworkError` on a cycle."""
+        indeg = {n: 0 for n in self._variables}
+        children: dict[str, list[str]] = {n: [] for n in self._variables}
+        for parent, child in self.edges():
+            indeg[child] += 1
+            children[parent].append(child)
+        queue = deque(n for n in self._variables if indeg[n] == 0)
+        order: list[Variable] = []
+        while queue:
+            n = queue.popleft()
+            order.append(self._variables[n])
+            for c in children[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    queue.append(c)
+        if len(order) != len(self._variables):
+            cyclic = sorted(n for n, d in indeg.items() if d > 0)
+            raise NetworkError(f"network contains a directed cycle through {cyclic}")
+        return order
+
+    def validate(self) -> "BayesianNetwork":
+        """Check acyclicity and that every variable has exactly one CPT."""
+        missing = [n for n in self._variables if n not in self._cpts]
+        if missing:
+            raise NetworkError(f"variables without CPTs: {sorted(missing)}")
+        self.topological_order()
+        return self
+
+    # -------------------------------------------------------------- semantics
+    def log_joint(self, assignment: Mapping[str, str | int]) -> float:
+        """``log P(assignment)`` for a *complete* assignment."""
+        if set(assignment) != set(self._variables):
+            missing = set(self._variables) - set(assignment)
+            extra = set(assignment) - set(self._variables)
+            raise NetworkError(
+                f"assignment must cover all variables (missing {sorted(missing)}, "
+                f"unknown {sorted(extra)})"
+            )
+        total = 0.0
+        for name, cpt in self._cpts.items():
+            parent_states = {p.name: assignment[p.name] for p in cpt.parents}
+            p = cpt.prob(assignment[name], parent_states)
+            if p == 0.0:
+                return -np.inf
+            total += float(np.log(p))
+        return total
+
+    def joint_probability(self, assignment: Mapping[str, str | int]) -> float:
+        """``P(assignment)`` for a complete assignment (tiny networks only)."""
+        lp = self.log_joint(assignment)
+        return float(np.exp(lp)) if np.isfinite(lp) else 0.0
+
+    # ------------------------------------------------------------------ stats
+    def max_in_degree(self) -> int:
+        return max((len(c.parents) for c in self._cpts.values()), default=0)
+
+    def state_counts(self) -> list[int]:
+        return [v.cardinality for v in self._variables.values()]
+
+    def total_cpt_entries(self) -> int:
+        """Total dense-CPT storage — the paper's proxy for network complexity."""
+        return sum(c.size for c in self._cpts.values())
+
+    def summary(self) -> str:
+        """One-line description used by the benchmark reports."""
+        cards = self.state_counts()
+        return (
+            f"{self.name}: {self.num_variables} nodes, {self.num_edges} edges, "
+            f"states avg {np.mean(cards):.2f} max {max(cards, default=0)}, "
+            f"max in-degree {self.max_in_degree()}, "
+            f"CPT entries {self.total_cpt_entries()}"
+        )
+
+    @classmethod
+    def from_cpts(cls, cpts: Iterable[CPT], name: str = "bn") -> "BayesianNetwork":
+        """Build and validate a network from a CPT collection."""
+        net = cls(name)
+        cpt_list = list(cpts)
+        for cpt in cpt_list:
+            for v in cpt.variables:
+                net.add_variable(v)
+        for cpt in cpt_list:
+            net.add_cpt(cpt)
+        return net.validate()

@@ -1,0 +1,180 @@
+"""Command-line interface: ``fastbni <subcommand>``.
+
+Subcommands regenerate every table/figure of the evaluation:
+
+* ``table1``      — the paper's Table 1 (all engines × all networks);
+* ``scaling``     — Fig A thread-count sweep;
+* ``granularity`` — Fig B inter/intra/hybrid across JT structures;
+* ``root``        — Fig C root-selection ablation;
+* ``primitives``  — Fig D table-operation microbenchmarks;
+* ``overhead``    — Fig E small-vs-large parallel overhead;
+* ``info``        — network/junction-tree statistics;
+* ``query``       — run one inference on a bundled or analog network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bn.repository import PAPER_NETWORKS
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.bench.table1 import run_table1
+
+    networks = tuple(args.networks) if args.networks else PAPER_NETWORKS
+    sweep = tuple(int(t) for t in args.threads.split(","))
+    run_table1(networks=networks, num_cases=args.cases, sweep=sweep)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> None:
+    from repro.bench.ablations import render_thread_scaling, thread_scaling
+
+    threads = tuple(int(t) for t in args.threads.split(","))
+    results = thread_scaling(args.network, threads=threads,
+                             num_cases=args.cases, mode=args.mode)
+    print(render_thread_scaling(results, args.network))
+
+
+def _cmd_granularity(args: argparse.Namespace) -> None:
+    from repro.bench.ablations import granularity_study, render_granularity
+
+    print(render_granularity(granularity_study(num_workers=args.workers)))
+
+
+def _cmd_root(args: argparse.Namespace) -> None:
+    from repro.bench.ablations import render_root_selection, root_selection_study
+
+    networks = tuple(args.networks) if args.networks else PAPER_NETWORKS
+    print(render_root_selection(root_selection_study(networks=networks)))
+
+
+def _cmd_primitives(args: argparse.Namespace) -> None:
+    from repro.bench.microbench import run_microbench
+
+    print(run_microbench(num_workers=args.workers))
+
+
+def _cmd_overhead(args: argparse.Namespace) -> None:
+    from repro.bench.ablations import overhead_study, render_overhead
+
+    print(render_overhead(overhead_study(num_workers=args.workers), args.workers))
+
+
+def _load_any(name: str):
+    from repro.bn.datasets import BUNDLED, load_dataset
+    from repro.bn.repository import load_network
+
+    if name in BUNDLED:
+        return load_dataset(name)
+    return load_network(name)
+
+
+def _cmd_heuristics(args: argparse.Namespace) -> None:
+    from repro.bench.ablations import heuristic_study, render_heuristics
+
+    networks = tuple(args.networks) if args.networks else PAPER_NETWORKS
+    print(render_heuristics(heuristic_study(networks=networks)))
+
+
+def _cmd_info(args: argparse.Namespace) -> None:
+    from repro.jt.layers import compute_layers
+    from repro.jt.root import select_root
+    from repro.jt.structure import compile_junction_tree
+
+    net = _load_any(args.network)
+    print(net.summary())
+    tree = compile_junction_tree(net)
+    select_root(tree, "center")
+    schedule = compute_layers(tree)
+    stats = tree.stats()
+    stats["num_layers"] = schedule.num_layers
+    for k, v in stats.items():
+        print(f"  {k}: {v}")
+
+
+def _cmd_query(args: argparse.Namespace) -> None:
+    from repro.core import FastBNI
+
+    net = _load_any(args.network)
+    evidence = json.loads(args.evidence) if args.evidence else {}
+    with FastBNI(net, mode=args.mode, backend=args.backend,
+                 num_workers=args.workers) as engine:
+        result = engine.infer(evidence)
+        targets = args.targets.split(",") if args.targets else list(net.variable_names)[:10]
+        for name in targets:
+            var = net.variable(name)
+            dist = ", ".join(f"{s}={p:.4f}" for s, p in zip(var.states, result.posteriors[name]))
+            print(f"P({name} | e) = [{dist}]")
+        print(f"log P(e) = {result.log_evidence:.6f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``fastbni`` argument parser (one sub-command per figure)."""
+    p = argparse.ArgumentParser(prog="fastbni", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    t1.add_argument("--networks", nargs="*", choices=PAPER_NETWORKS)
+    t1.add_argument("--cases", type=int, default=None,
+                    help="test cases per network (default: per-network preset)")
+    t1.add_argument("--threads", default="1,2,4,8",
+                    help="comma-separated thread sweep (paper: 1..32)")
+    t1.set_defaults(func=_cmd_table1)
+
+    sc = sub.add_parser("scaling", help="Fig A: thread scaling")
+    sc.add_argument("--network", default="munin4", choices=PAPER_NETWORKS)
+    sc.add_argument("--threads", default="1,2,4,8,16,32")
+    sc.add_argument("--cases", type=int, default=None)
+    sc.add_argument("--mode", default="hybrid", choices=("hybrid", "inter", "intra"))
+    sc.set_defaults(func=_cmd_scaling)
+
+    gr = sub.add_parser("granularity", help="Fig B: granularity vs structure")
+    gr.add_argument("--workers", type=int, default=8)
+    gr.set_defaults(func=_cmd_granularity)
+
+    rt = sub.add_parser("root", help="Fig C: root selection ablation")
+    rt.add_argument("--networks", nargs="*", choices=PAPER_NETWORKS)
+    rt.set_defaults(func=_cmd_root)
+
+    pr = sub.add_parser("primitives", help="Fig D: table-op microbenchmarks")
+    pr.add_argument("--workers", type=int, default=8)
+    pr.set_defaults(func=_cmd_primitives)
+
+    ov = sub.add_parser("overhead", help="Fig E: overhead vs network scale")
+    ov.add_argument("--workers", type=int, default=8)
+    ov.set_defaults(func=_cmd_overhead)
+
+    he = sub.add_parser("heuristics",
+                        help="extension: triangulation heuristic comparison")
+    he.add_argument("--networks", nargs="*", choices=PAPER_NETWORKS)
+    he.set_defaults(func=_cmd_heuristics)
+
+    info = sub.add_parser("info", help="network + junction tree statistics")
+    info.add_argument("network")
+    info.set_defaults(func=_cmd_info)
+
+    q = sub.add_parser("query", help="run one inference")
+    q.add_argument("network")
+    q.add_argument("--evidence", default="",
+                   help='JSON, e.g. \'{"smoke": "yes"}\'')
+    q.add_argument("--targets", default="", help="comma-separated query variables")
+    q.add_argument("--mode", default="hybrid")
+    q.add_argument("--backend", default="thread")
+    q.add_argument("--workers", type=int, default=4)
+    q.set_defaults(func=_cmd_query)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

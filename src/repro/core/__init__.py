@@ -1,0 +1,20 @@
+"""Fast-BNI: the paper's contribution.
+
+:class:`~repro.core.fastbni.FastBNI` is the public engine.  Its four modes
+correspond to the paper's design space:
+
+* ``mode="seq"``    — Fast-BNI-seq: optimised sequential engine (index-
+  mapping formulation, vectorised kernels, no parallel dispatch);
+* ``mode="inter"``  — coarse-grained inter-clique parallelism only
+  (BFS layering + root selection, one task per message);
+* ``mode="intra"``  — fine-grained intra-clique parallelism only
+  (each table op chunked over entries, sequential message order);
+* ``mode="hybrid"`` — Fast-BNI-par: the paper's hybrid — per layer, all
+  table entries are flattened into one balanced task pool
+  (:mod:`repro.core.hybrid`).
+"""
+
+from repro.core.config import FastBNIConfig
+from repro.core.fastbni import FastBNI
+
+__all__ = ["FastBNI", "FastBNIConfig"]

@@ -1,0 +1,274 @@
+"""The Fast-BNI engine (paper §2).
+
+Compile once, infer many times: the constructor builds the junction tree,
+applies root selection, computes the BFS layer schedule and precomputes a
+:class:`MessagePlan` per tree edge (the stride triples of all four index
+mappings a message ever needs).  Each :meth:`FastBNI.infer` then only
+touches table *values* — exactly the amortisation FastBN uses across the
+paper's 2000-case workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.core.config import FastBNIConfig
+from repro.core.primitives import StrideTriples
+from repro.errors import BackendError, EvidenceError
+from repro.jt.engine import InferenceResult
+from repro.jt.evidence import absorb_evidence
+from repro.jt.layers import LayerSchedule, compute_layers
+from repro.jt.query import all_posteriors
+from repro.jt.root import select_root
+from repro.jt.structure import JunctionTree, TreeState, compile_junction_tree
+from repro.parallel.backend import Backend, SerialBackend, make_backend
+from repro.parallel.sharedmem import ArrayRef, SharedArena
+from repro.potential.domain import Domain
+
+
+def _triples(src: Domain, dst: Domain) -> StrideTriples:
+    """Stride triples describing the src→dst index mapping."""
+    return tuple((src.stride(v), src.card(v), dst.stride(v)) for v in dst.variables)
+
+
+@dataclass(frozen=True)
+class MessagePlan:
+    """Precomputed index-mapping data for one tree edge (child ↔ parent)."""
+
+    child: int
+    parent: int
+    sep_id: int
+    sep_size: int
+    #: collect: marginalize child clique → separator
+    marg_up: StrideTriples
+    #: collect: absorb ratio into parent (gather parent idx → sep idx)
+    absorb_up: StrideTriples
+    #: distribute: marginalize parent clique → separator
+    marg_down: StrideTriples
+    #: distribute: absorb ratio into child
+    absorb_down: StrideTriples
+
+
+class FastBNI:
+    """Fast parallel exact inference on Bayesian networks.
+
+    See :mod:`repro.core` for the mode semantics.  The engine owns a
+    persistent execution backend; call :meth:`close` (or use it as a
+    context manager) to release pools.
+    """
+
+    def __init__(self, net: BayesianNetwork, config: FastBNIConfig | None = None,
+                 **kwargs) -> None:
+        if config is None:
+            config = FastBNIConfig(**kwargs)
+        elif kwargs:
+            raise BackendError("pass either a config object or keyword options, not both")
+        self.config = config
+        self.net = net
+        self.tree: JunctionTree = compile_junction_tree(net, heuristic=config.heuristic)
+        select_root(self.tree, config.root_strategy)
+        self.schedule: LayerSchedule = compute_layers(self.tree)
+        self.plans: dict[int, MessagePlan] = {}
+        for cid in range(self.tree.num_cliques):
+            par = self.tree.parent[cid]
+            if par < 0:
+                continue
+            sep = self.tree.separators[self.tree.parent_sep[cid]]
+            cdom = self.tree.cliques[cid].domain
+            pdom = self.tree.cliques[par].domain
+            self.plans[cid] = MessagePlan(
+                child=cid,
+                parent=par,
+                sep_id=sep.id,
+                sep_size=sep.domain.size,
+                marg_up=_triples(cdom, sep.domain),
+                absorb_up=_triples(pdom, sep.domain),
+                marg_down=_triples(pdom, sep.domain),
+                absorb_down=_triples(cdom, sep.domain),
+            )
+        if config.mode == "seq":
+            self.backend: Backend = SerialBackend()
+        else:
+            self.backend = make_backend(config.backend, config.num_workers)
+        # Per-edge index-map cache (thread/serial backends only: shipping a
+        # table-sized map across a process boundary would defeat it).
+        # Keyed by (table clique id, separator id); the same map serves the
+        # marginalize and absorb directions of that edge.
+        self._map_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._map_cache_entries = 0
+        #: Instrumentation for the last infer() call: how often the backend
+        #: was invoked and how many tasks it received — the quantitative
+        #: form of the paper's "parallelization overhead" argument.
+        self.metrics: dict[str, int] = {}
+        self._closed = False
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Instrumentation hook used by the calibration strategies."""
+        if self.metrics is not None:
+            self.metrics[key] = self.metrics.get(key, 0) + n
+
+    #: Stop materialising maps past this many cached int64 entries (~400 MB).
+    MAP_CACHE_LIMIT = 50_000_000
+
+    def get_map(self, clique_id: int, sep_id: int, size: int,
+                triples: StrideTriples) -> np.ndarray | None:
+        """Cached clique→separator index map, or None when unavailable."""
+        if self.backend.name == "process":
+            return None
+        key = (clique_id, sep_id)
+        cached = self._map_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._map_cache_entries + size > self.MAP_CACHE_LIMIT:
+            return None
+        from repro.core.primitives import build_index_map
+
+        imap = build_index_map(size, triples)
+        self._map_cache[key] = imap
+        self._map_cache_entries += size
+        return imap
+
+    # ----------------------------------------------------------------- naming
+    @property
+    def name(self) -> str:
+        mode = self.config.mode
+        if mode == "seq":
+            return "fastbni-seq"
+        return f"fastbni-{mode}[{self.backend.name}x{self.backend.num_workers}]"
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.backend.close()
+
+    def __enter__(self) -> "FastBNI":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- running
+    def infer(
+        self,
+        evidence: dict[str, str | int] | None = None,
+        targets: tuple[str, ...] = (),
+        soft_evidence: dict[str, "np.ndarray | list[float]"] | None = None,
+    ) -> InferenceResult:
+        """One exact inference pass; returns posteriors and log P(evidence).
+
+        ``soft_evidence`` maps variables to likelihood vectors (virtual
+        evidence); see :mod:`repro.jt.evidence_soft`.
+        """
+        self.metrics = {"dispatch_batches": 0, "dispatch_tasks": 0,
+                        "inline_layers": 0, "messages": 0}
+        state = self.tree.fresh_state()
+        if evidence:
+            absorb_evidence(state, evidence)
+        if soft_evidence:
+            from repro.jt.evidence_soft import absorb_soft_evidence
+
+            absorb_soft_evidence(state, soft_evidence)
+
+        arena: SharedArena | None = None
+        try:
+            if self.config.mode != "seq" and self.backend.name == "process":
+                arena = self._move_to_arena(state)
+            refs = [ArrayRef.wrap(p.values) if arena is None else arena.ref(i)
+                    for i, p in enumerate(state.clique_pot)]
+            self._calibrate(state, refs)
+            result = InferenceResult(
+                posteriors=all_posteriors(state, targets),
+                log_evidence=self._log_evidence(state),
+            )
+        finally:
+            if arena is not None:
+                # Copy results back to private memory before releasing shm.
+                for i, pot in enumerate(state.clique_pot):
+                    pot.values = np.array(pot.values)
+                arena.close()
+        return result
+
+    def _move_to_arena(self, state: TreeState) -> SharedArena:
+        arena = SharedArena([p.size for p in state.clique_pot])
+        for i, pot in enumerate(state.clique_pot):
+            arena.load(i, pot.values)
+            pot.values = arena.view(i)
+        return arena
+
+    def _calibrate(self, state: TreeState, refs: list[ArrayRef]) -> None:
+        from repro.core import hybrid, inter, intra
+
+        mode = self.config.mode
+        if mode == "seq":
+            # Fast-BNI-seq: identical simplified index-mapping kernels and
+            # per-edge map cache, executed inline (hybrid path degenerates
+            # to pure sequential on the serial backend).
+            hybrid.calibrate_hybrid(self, state, refs)
+        elif mode == "inter":
+            inter.calibrate_inter(self, state, refs)
+        elif mode == "intra":
+            intra.calibrate_intra(self, state, refs)
+        elif mode == "hybrid":
+            hybrid.calibrate_hybrid(self, state, refs)
+        else:  # pragma: no cover - config validates
+            raise BackendError(f"unknown mode {mode!r}")
+
+    def _log_evidence(self, state: TreeState) -> float:
+        root_total = float(state.clique_pot[self.tree.root].values.sum())
+        if root_total <= 0.0:
+            return -math.inf
+        return state.log_norm + math.log(root_total)
+
+    # ------------------------------------------------------- shared helpers
+    def normalize_message(self, state: TreeState, values: np.ndarray,
+                          track: bool) -> np.ndarray:
+        """Normalise a freshly marginalised separator table.
+
+        Collect-phase constants accumulate in ``state.log_norm`` (they are
+        factors of the root's deficit from P(e)); distribute constants are
+        dropped.  Raises on an all-zero message (impossible evidence).
+        """
+        total = float(values.sum())
+        if total <= 0.0:
+            raise EvidenceError("evidence has zero probability (empty message)")
+        values = values / total
+        if track:
+            state.log_norm += math.log(total)
+        return values
+
+    def infer_batch(
+        self,
+        cases,
+        case_workers: int = 1,
+        targets: tuple[str, ...] = (),
+    ) -> list[InferenceResult]:
+        """Run a batch of test cases, optionally parallel *across* cases.
+
+        The paper parallelises within one inference; a 2000-case workload
+        also admits the orthogonal axis of running whole cases
+        concurrently (each case calibrates sequentially on its own
+        TreeState; the compiled tree and index-map cache are shared
+        read-only).  ``case_workers=1`` is a plain loop.
+        """
+        cases = list(cases)
+        if case_workers <= 1 or len(cases) <= 1:
+            return [self.infer(c.evidence, targets) for c in cases]
+        # Warm the map cache serially so concurrent reads never mutate it.
+        if cases:
+            self.infer(cases[0].evidence, targets)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=case_workers) as pool:
+            futures = [pool.submit(self.infer, c.evidence, targets) for c in cases]
+            return [f.result() for f in futures]
+
+    def stats(self) -> dict[str, float]:
+        s = self.tree.stats()
+        s["num_layers"] = self.schedule.num_layers
+        s["num_workers"] = self.backend.num_workers
+        return s

@@ -1,0 +1,109 @@
+"""Inter-clique (coarse-grained) calibration.
+
+One task per *parent group*: all messages converging on the same parent
+clique in a layer run in a single task (their absorptions write the same
+table and must serialise); distinct parents proceed concurrently.  Layers
+are barriers.  This is Fast-BNI's coarse granularity in isolation — load
+balance suffers when one clique in a layer is much larger than its peers,
+which is precisely the shortcoming the hybrid mode fixes (paper §1/§2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitives import StrideTriples, chunk_dst_indices, ratio_vector
+from repro.errors import EvidenceError
+from repro.jt.structure import TreeState
+from repro.parallel.sharedmem import ArrayRef
+
+
+def message_task(
+    src: ArrayRef,
+    dst: ArrayRef,
+    old_sep: np.ndarray,
+    marg: StrideTriples,
+    absorb: StrideTriples,
+    sep_size: int,
+    sep_id: int,
+    marg_map: np.ndarray | None = None,
+    absorb_map: np.ndarray | None = None,
+) -> tuple[int, np.ndarray, float]:
+    """One full message src→dst executed in a worker.
+
+    Whole-table (unchunked) kernels: marginalize src, normalise, divide by
+    the old separator, absorb into dst.  Returns ``(sep_id, new separator
+    values, log normalisation constant)`` for the master's bookkeeping.
+    """
+    src_vals = src.resolve()
+    imap = chunk_dst_indices(0, src_vals.size, marg, marg_map)
+    new_sep = np.bincount(imap, weights=src_vals, minlength=sep_size)
+    total = float(new_sep.sum())
+    if total > 0.0:
+        new_sep /= total
+    ratio = ratio_vector(new_sep, old_sep)
+    dst_vals = dst.resolve()
+    dst_vals *= ratio[chunk_dst_indices(0, dst_vals.size, absorb, absorb_map)]
+    return sep_id, new_sep, (np.log(total) if total > 0.0 else -np.inf)
+
+
+def group_task(messages: tuple[tuple, ...]) -> list[tuple[int, np.ndarray, float]]:
+    """Run several messages sharing a destination clique, sequentially."""
+    return [message_task(*m) for m in messages]
+
+
+def _message_args(engine, state: TreeState, refs, src: int, dst: int,
+                  plan, up: bool) -> tuple:
+    marg = plan.marg_up if up else plan.marg_down
+    absorb = plan.absorb_up if up else plan.absorb_down
+    # The child→sep map serves marg (up) / absorb (down); parent→sep serves
+    # the opposite role.  Either may be None (process backend / cache full).
+    child_map = engine.get_map(plan.child, plan.sep_id,
+                               engine.tree.cliques[plan.child].size, plan.marg_up)
+    parent_map = engine.get_map(plan.parent, plan.sep_id,
+                                engine.tree.cliques[plan.parent].size, plan.absorb_up)
+    marg_map, absorb_map = (child_map, parent_map) if up else (parent_map, child_map)
+    return (refs[src], refs[dst], state.sep_pot[plan.sep_id].values,
+            marg, absorb, plan.sep_size, plan.sep_id, marg_map, absorb_map)
+
+
+def calibrate_inter(engine, state: TreeState, refs: list[ArrayRef]) -> None:
+    """Layer-synchronous collect + distribute with message-level tasks."""
+    tree = engine.tree
+
+    # ---- collect: deepest layer first; group messages by parent clique.
+    for cliques, _seps in engine.schedule.collect_layers():
+        by_parent: dict[int, list[tuple]] = {}
+        for cid in cliques:
+            plan = engine.plans[cid]
+            by_parent.setdefault(plan.parent, []).append(
+                _message_args(engine, state, refs, cid, plan.parent, plan, up=True)
+            )
+        tasks = [(group_task, (tuple(msgs),)) for msgs in by_parent.values()]
+        engine.count("dispatch_batches")
+        engine.count("dispatch_tasks", len(tasks))
+        engine.count("messages", len(cliques))
+        for results in engine.backend.run_batch(tasks):
+            for sep_id, new_sep, log_k in results:
+                if not np.isfinite(log_k):
+                    raise EvidenceError(
+                        "evidence has zero probability (empty message)"
+                    )
+                state.sep_pot[sep_id].values = new_sep
+                state.log_norm += log_k
+
+    # ---- distribute: shallowest first; each child is a distinct target.
+    for cliques, _seps in engine.schedule.distribute_layers():
+        tasks = []
+        for cid in cliques:
+            for child, _sep in tree.children[cid]:
+                plan = engine.plans[child]
+                tasks.append((message_task,
+                              _message_args(engine, state, refs, cid, child, plan, up=False)))
+        if not tasks:
+            continue
+        engine.count("dispatch_batches")
+        engine.count("dispatch_tasks", len(tasks))
+        engine.count("messages", len(tasks))
+        for sep_id, new_sep, _log_k in engine.backend.run_batch(tasks):
+            state.sep_pot[sep_id].values = new_sep  # distribute constants dropped

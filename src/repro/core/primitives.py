@@ -1,0 +1,111 @@
+"""Chunk kernels: the paper's intra-clique primitives over entry ranges.
+
+Every kernel is a module-level function taking only picklable arguments
+(:class:`~repro.parallel.sharedmem.ArrayRef` plus plain tuples), so the
+same code runs on the serial, thread and process backends.
+
+Index maps are described by *stride triples* ``(src_stride, card,
+dst_stride)`` per destination variable — precomputed once per
+(clique, separator) pair at compile time and reused across every test case
+(see :class:`repro.core.fastbni.MessagePlan`).  A kernel touching entries
+``[lo, hi)`` reads/writes only that range of its output, so chunks of one
+table can run concurrently with no synchronisation:
+
+* :func:`marg_chunk` returns a *partial* destination table (scatter-add is
+  reduced by the master, keeping workers write-disjoint);
+* :func:`absorb_chunk` multiplies a clique range by extended ratio values
+  (gather; writes only its own range);
+* :func:`reduce_chunk` zeroes evidence-inconsistent entries of a range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.sharedmem import ArrayRef
+
+#: per destination variable: (stride in src domain, cardinality, stride in dst)
+StrideTriples = tuple[tuple[int, int, int], ...]
+
+
+def chunk_dst_indices(lo: int, hi: int, triples: StrideTriples,
+                      imap: np.ndarray | None = None) -> np.ndarray:
+    """Destination indices of source entries ``[lo, hi)`` (the index mapping).
+
+    When a precomputed full map ``imap`` is supplied (the engines cache one
+    per tree edge — the mapping depends only on table shapes, never on
+    evidence), this is a view slice; otherwise the mixed-radix arithmetic
+    runs on the fly (the only option across a process boundary, where
+    shipping a table-sized map would defeat the purpose).
+    """
+    if imap is not None:
+        return imap[lo:hi]
+    idx = np.arange(lo, hi, dtype=np.int64)
+    out = np.zeros(hi - lo, dtype=np.int64)
+    for s_src, card, s_dst in triples:
+        out += ((idx // s_src) % card) * s_dst
+    return out
+
+
+def build_index_map(size: int, triples: StrideTriples) -> np.ndarray:
+    """Materialise the full source→destination index map."""
+    return chunk_dst_indices(0, size, triples)
+
+
+def marg_chunk(src: ArrayRef, lo: int, hi: int, triples: StrideTriples,
+               dst_size: int, imap: np.ndarray | None = None) -> np.ndarray:
+    """Partial marginalization: bincount of ``src[lo:hi]`` into dst space."""
+    values = src.resolve()
+    m = chunk_dst_indices(lo, hi, triples, imap)
+    return np.bincount(m, weights=values[lo:hi], minlength=dst_size)
+
+
+def absorb_chunk(dst: ArrayRef, lo: int, hi: int,
+                 updates: tuple[tuple[StrideTriples, np.ndarray | None, np.ndarray], ...],
+                 ) -> None:
+    """``dst[lo:hi] *= prod_k extend(ratio_k)[lo:hi]``.
+
+    ``updates`` carries one (stride-triples, optional cached map, ratio
+    vector) triple per pending message into this clique; applying them all
+    in one pass halves the number of parallel invocations when several
+    children update the same parent in one layer.
+    """
+    values = dst.resolve()
+    seg = values[lo:hi]
+    for triples, imap, ratio in updates:
+        seg *= ratio[chunk_dst_indices(lo, hi, triples, imap)]
+
+
+def reduce_chunk(dst: ArrayRef, lo: int, hi: int,
+                 conditions: tuple[tuple[int, int, int], ...]) -> None:
+    """Zero entries of ``dst[lo:hi]`` violating evidence.
+
+    ``conditions`` holds ``(stride, card, state)`` per observed variable in
+    this table (the paper's *reduction*).
+    """
+    values = dst.resolve()
+    idx = np.arange(lo, hi, dtype=np.int64)
+    mask = np.ones(hi - lo, dtype=bool)
+    for stride, card, state in conditions:
+        mask &= ((idx // stride) % card) == state
+    values[lo:hi] *= mask
+
+
+def sum_chunk(src: ArrayRef, lo: int, hi: int) -> float:
+    """Partial sum (used by parallel normalisation)."""
+    return float(src.resolve()[lo:hi].sum())
+
+
+def scale_chunk(dst: ArrayRef, lo: int, hi: int, factor: float) -> None:
+    """In-place scaling of a range."""
+    dst.resolve()[lo:hi] *= factor
+
+
+def ratio_vector(new: np.ndarray, old: np.ndarray) -> np.ndarray:
+    """Separator update ``new/old`` with the JT convention ``x/0 = 0``.
+
+    Computed by the master (separators are tiny next to cliques).
+    """
+    out = np.zeros_like(new)
+    np.divide(new, old, out=out, where=old != 0)
+    return out

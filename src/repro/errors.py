@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Fast-BNI reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NetworkError(ReproError):
+    """A Bayesian network is structurally invalid (cycle, missing CPT, ...)."""
+
+
+class CPTError(NetworkError):
+    """A conditional probability table is malformed or inconsistent."""
+
+
+class ParseError(ReproError):
+    """A network file (BIF / NET) could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PotentialError(ReproError):
+    """An operation on potential tables was applied to incompatible operands."""
+
+
+class JunctionTreeError(ReproError):
+    """Junction-tree construction or calibration failed an invariant."""
+
+
+class EvidenceError(ReproError):
+    """Evidence refers to unknown variables/states or has zero probability."""
+
+
+class QueryError(ReproError):
+    """A posterior query refers to unknown variables or an uncalibrated tree."""
+
+
+class BackendError(ReproError):
+    """A parallel execution backend was misconfigured or failed."""

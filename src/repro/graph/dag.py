@@ -1,0 +1,105 @@
+"""DAG utilities over Bayesian networks: reachability and d-separation.
+
+d-separation is used by the test-suite as a *structural* oracle: if the DAG
+d-separates X from Y given Z, every correct inference engine must report
+``P(X | Z, Y=y) == P(X | Z)`` — a strong end-to-end invariant that requires
+no numeric reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bn.network import BayesianNetwork
+
+
+def parents_map(net: BayesianNetwork) -> dict[str, set[str]]:
+    """Parent-name sets per variable."""
+    return {v.name: {p.name for p in net.parents(v.name)} for v in net.variables}
+
+
+def children_map(net: BayesianNetwork) -> dict[str, set[str]]:
+    """Child-name sets per variable."""
+    out: dict[str, set[str]] = {v.name: set() for v in net.variables}
+    for parent, child in net.edges():
+        out[parent].add(child)
+    return out
+
+
+def ancestors(net: BayesianNetwork, names: set[str]) -> set[str]:
+    """All (proper and improper) ancestors of ``names``."""
+    pmap = parents_map(net)
+    seen = set(names)
+    stack = list(names)
+    while stack:
+        n = stack.pop()
+        for p in pmap[n]:
+            if p not in seen:
+                seen.add(p)
+                stack.append(p)
+    return seen
+
+
+def descendants(net: BayesianNetwork, name: str) -> set[str]:
+    """Proper descendants of ``name``."""
+    cmap = children_map(net)
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        n = stack.pop()
+        for c in cmap[n]:
+            if c not in seen:
+                seen.add(c)
+                stack.append(c)
+    return seen
+
+
+def d_separated(net: BayesianNetwork, x: str, y: str, given: set[str] | frozenset[str] = frozenset()) -> bool:
+    """True iff ``x`` and ``y`` are d-separated by ``given`` in ``net``.
+
+    Implemented as reachability in the *ball* algorithm (Shachter's Bayes
+    ball): BFS over (node, direction) states where direction records whether
+    the ball entered from a child (``up``) or from a parent (``down``).
+    """
+    for n in (x, y, *given):
+        net.variable(n)  # raises on unknown names
+    if x == y:
+        return False
+    if x in given or y in given:
+        # Conditioning on an endpoint blocks all paths from it.
+        return True
+    z = set(given)
+    pmap = parents_map(net)
+    cmap = children_map(net)
+    # Nodes with an observed descendant (or observed themselves) unblock
+    # colliders.
+    obs_or_desc = set(z)
+    for n in z:
+        obs_or_desc |= {a for a in ancestors(net, {n})}
+    # (ancestors of evidence = nodes having an observed descendant, plus z)
+
+    # State: (node, came_from_child?)
+    start = [(x, True), (x, False)]
+    seen: set[tuple[str, bool]] = set(start)
+    queue = deque(start)
+    while queue:
+        node, from_child = queue.popleft()
+        if node == y:
+            return False
+        moves: list[tuple[str, bool]] = []
+        if from_child:
+            # Ball arrived from a child (travelling up).
+            if node not in z:
+                moves += [(p, True) for p in pmap[node]]       # keep going up
+                moves += [(c, False) for c in cmap[node]]      # bounce down
+        else:
+            # Ball arrived from a parent (travelling down).
+            if node not in z:
+                moves += [(c, False) for c in cmap[node]]      # keep going down
+            if node in obs_or_desc:
+                moves += [(p, True) for p in pmap[node]]       # collider opens
+        for state in moves:
+            if state not in seen:
+                seen.add(state)
+                queue.append(state)
+    return True

@@ -1,0 +1,49 @@
+"""Moralization: DAG → undirected moral graph.
+
+The moral graph connects every node to its parents and "marries" all pairs
+of parents of a common child, then drops edge directions.  Every CPT family
+``{child} ∪ parents`` is therefore a clique of the moral graph, which is
+what lets junction-tree cliques absorb whole CPTs.
+"""
+
+from __future__ import annotations
+
+from repro.bn.network import BayesianNetwork
+
+Adjacency = dict[str, set[str]]
+
+
+def moralize(net: BayesianNetwork) -> Adjacency:
+    """Return the moral graph of ``net`` as an adjacency map.
+
+    Every variable appears as a key (isolated nodes map to an empty set).
+    """
+    adj: Adjacency = {v.name: set() for v in net.variables}
+    for cpt in net.cpts:
+        family = [p.name for p in cpt.parents] + [cpt.child.name]
+        for i, u in enumerate(family):
+            for w in family[i + 1:]:
+                adj[u].add(w)
+                adj[w].add(u)
+    return adj
+
+
+def moral_graph(net: BayesianNetwork) -> Adjacency:
+    """Alias of :func:`moralize` (kept for API symmetry with the paper text)."""
+    return moralize(net)
+
+
+def copy_adjacency(adj: Adjacency) -> Adjacency:
+    """Deep-copy an adjacency map (triangulation mutates its working copy)."""
+    return {u: set(nbrs) for u, nbrs in adj.items()}
+
+
+def check_symmetric(adj: Adjacency) -> bool:
+    """True iff the adjacency map encodes a valid undirected simple graph."""
+    for u, nbrs in adj.items():
+        if u in nbrs:
+            return False
+        for w in nbrs:
+            if w not in adj or u not in adj[w]:
+                return False
+    return True

@@ -1,0 +1,20 @@
+"""Junction-tree construction, calibration and querying.
+
+:func:`repro.jt.engine.JunctionTreeEngine` is the reference sequential
+engine (plain two-phase Lauritzen–Spiegelhalter propagation); the Fast-BNI
+engines in :mod:`repro.core` and the comparison baselines in
+:mod:`repro.baselines` all reuse the structures defined here
+(:class:`repro.jt.structure.JunctionTree`, BFS layering, root selection)
+and differ only in *how* they schedule and execute the table operations.
+"""
+
+from repro.jt.engine import JunctionTreeEngine
+from repro.jt.structure import Clique, JunctionTree, Separator, compile_junction_tree
+
+__all__ = [
+    "JunctionTree",
+    "Clique",
+    "Separator",
+    "compile_junction_tree",
+    "JunctionTreeEngine",
+]

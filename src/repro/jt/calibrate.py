@@ -1,0 +1,102 @@
+"""Reference sequential two-phase calibration (Lauritzen–Spiegelhalter/Hugin).
+
+The schedule walks the BFS layering: **collect** sends messages from the
+deepest cliques toward the root, **distribute** sends them back out.  One
+message from clique *c* through separator *S* to neighbour *p* is
+
+    newS  = marginalize(phi_c, S)        # the paper's op 1
+    phi_p *= extend(newS / oldS, C_p)    # ops 2+3 fused (Hugin absorption)
+    oldS  = newS
+
+Messages are normalised as they are computed ("scaled propagation"): the
+pulled-out constants accumulate in ``state.log_norm`` so
+``log P(evidence)`` remains exact while every table stays O(1) — necessary
+on 1000-node networks where raw products underflow float64.
+
+After both phases each clique potential is proportional to
+``P(clique vars, evidence)`` with the same constant everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EvidenceError
+from repro.jt.layers import LayerSchedule, compute_layers
+from repro.jt.structure import JunctionTree, TreeState
+from repro.potential.ops import divide, marginalize, multiply_into
+
+
+def send_message(
+    state: TreeState,
+    src: int,
+    sep_id: int,
+    dst: int,
+    method: str = "auto",
+    scaled: bool = True,
+    track_norm: bool = True,
+) -> None:
+    """One Hugin message ``src --sep--> dst``, updating state in place.
+
+    ``track_norm`` must be True only for collect-phase messages: every
+    collect constant is a factor of the root table's deficit from P(e),
+    whereas distribute constants never reach the root and would corrupt
+    ``log_evidence`` if accumulated.
+    """
+    tree = state.tree
+    sep = tree.separators[sep_id]
+    new_sep = marginalize(state.clique_pot[src], sep.domain.names, method=method)
+    if scaled:
+        total = float(new_sep.values.sum())
+        if total <= 0.0:
+            raise EvidenceError(
+                "evidence has zero probability (empty message on separator "
+                f"{sep_id})"
+            )
+        new_sep.values /= total
+        if track_norm:
+            state.log_norm += math.log(total)
+    ratio = divide(new_sep, state.sep_pot[sep_id], method=method)
+    multiply_into(state.clique_pot[dst], ratio, method=method)
+    state.sep_pot[sep_id] = new_sep
+
+
+def collect(state: TreeState, schedule: LayerSchedule, method: str = "auto") -> None:
+    """Upward pass: deepest layer first, each clique messages its parent."""
+    tree = state.tree
+    for cliques, _seps in schedule.collect_layers():
+        for cid in cliques:
+            send_message(state, cid, tree.parent_sep[cid], tree.parent[cid], method=method)
+
+
+def distribute(state: TreeState, schedule: LayerSchedule, method: str = "auto") -> None:
+    """Downward pass: root layer first, each clique messages its children."""
+    tree = state.tree
+    for cliques, _seps in schedule.distribute_layers():
+        for cid in cliques:
+            for child, sep_id in tree.children[cid]:
+                send_message(state, cid, sep_id, child, method=method, track_norm=False)
+
+
+def calibrate(state: TreeState, schedule: LayerSchedule | None = None, method: str = "auto") -> None:
+    """Full two-phase propagation over a (possibly evidence-reduced) state."""
+    if schedule is None:
+        schedule = compute_layers(state.tree)
+    collect(state, schedule, method=method)
+    distribute(state, schedule, method=method)
+
+
+def is_calibrated(state: TreeState, rtol: float = 1e-7) -> bool:
+    """Check the calibration invariant on every separator.
+
+    For each separator S between cliques a, b:
+    ``marg(phi_a, S) ∝ marg(phi_b, S) ∝ phi_S``.
+    """
+    for sep in state.tree.separators:
+        ma = marginalize(state.clique_pot[sep.a], sep.domain.names)
+        mb = marginalize(state.clique_pot[sep.b], sep.domain.names)
+        if not ma.same_distribution(mb, rtol=rtol):
+            return False
+        if not ma.same_distribution(state.sep_pot[sep.id], rtol=rtol):
+            return False
+    return True

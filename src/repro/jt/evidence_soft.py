@@ -1,0 +1,51 @@
+"""Soft (likelihood/virtual) evidence.
+
+Hard evidence states "X = x was observed"; soft evidence states "a noisy
+detector reported a likelihood vector L(x) ∝ P(report | X = x)".  In the
+junction tree it is absorbed by multiplying the likelihood vector into one
+clique containing the variable — hard evidence is the special case of a
+one-hot vector, uniform L is a no-op.  A standard production feature of
+JT engines (Hugin, Netica) layered on the existing reduction machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvidenceError
+from repro.jt.structure import TreeState
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.ops import multiply_into
+
+
+def check_soft_evidence(tree, soft: dict[str, "np.ndarray | list[float]"]
+                        ) -> dict[str, np.ndarray]:
+    """Validate likelihood vectors: right length, non-negative, not all zero."""
+    out: dict[str, np.ndarray] = {}
+    for name, vec in soft.items():
+        if name not in tree.net:
+            raise EvidenceError(f"soft-evidence variable {name!r} not in network")
+        var = tree.net.variable(name)
+        arr = np.asarray(vec, dtype=np.float64)
+        if arr.shape != (var.cardinality,):
+            raise EvidenceError(
+                f"likelihood for {name!r} has shape {arr.shape}, expected "
+                f"({var.cardinality},)"
+            )
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise EvidenceError(f"likelihood for {name!r} must be non-negative/finite")
+        if arr.sum() <= 0.0:
+            raise EvidenceError(f"likelihood for {name!r} is identically zero")
+        out[name] = arr
+    return out
+
+
+def absorb_soft_evidence(state: TreeState,
+                         soft: dict[str, "np.ndarray | list[float]"]) -> None:
+    """Multiply each likelihood vector into the smallest covering clique."""
+    tree = state.tree
+    for name, vec in check_soft_evidence(tree, soft).items():
+        cid = tree.smallest_clique_with(name)
+        likelihood = Potential(Domain((tree.net.variable(name),)), vec)
+        multiply_into(state.clique_pot[cid], likelihood)

@@ -1,0 +1,86 @@
+"""BFS layering of the junction tree (paper §2, inter-clique parallelism).
+
+Fast-BNI "views all the cliques and separators as nodes of the tree and
+marks the layer where each of them is located".  With the root clique at
+layer 0, a clique at depth *d* (in clique hops) sits at layer ``2d`` and
+the separator connecting it to its parent at layer ``2d − 1``.
+
+All cliques in one layer have pairwise-disjoint message dependencies, so
+the collect pass can process layers deepest-first and the distribute pass
+shallowest-first, with a barrier per layer — that is the unit of
+coarse-grained parallelism in every parallel engine here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jt.structure import JunctionTree
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """Cliques and separators grouped by BFS layer for a given root.
+
+    ``clique_layers[d]`` lists clique ids at clique-depth ``d`` (tree layer
+    ``2d``); ``separator_layers[d]`` lists the separator ids between depth
+    ``d`` and ``d+1`` cliques (tree layer ``2d+1``).
+    """
+
+    root: int
+    clique_layers: tuple[tuple[int, ...], ...]
+    separator_layers: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_layers(self) -> int:
+        """Total layers counting both cliques and separators (paper metric)."""
+        return len(self.clique_layers) + len(self.separator_layers)
+
+    @property
+    def depth(self) -> int:
+        """Clique-depth of the deepest clique."""
+        return len(self.clique_layers) - 1
+
+    def collect_layers(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Deepest-first (cliques, parent separators) pairs for the collect pass.
+
+        Each element pairs the cliques at depth *d* (senders) with the
+        separators to their parents.  The root's layer is excluded — it
+        sends no upward message.
+        """
+        out = []
+        for d in range(len(self.clique_layers) - 1, 0, -1):
+            out.append((self.clique_layers[d], self.separator_layers[d - 1]))
+        return out
+
+    def distribute_layers(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Shallowest-first (cliques, child separators) pairs for distribute.
+
+        Pairs the cliques at depth *d* (senders) with the separators to
+        their children at depth *d*+1.  The deepest layer is excluded — it
+        has no children.
+        """
+        out = []
+        for d in range(len(self.clique_layers) - 1):
+            out.append((self.clique_layers[d], self.separator_layers[d]))
+        return out
+
+
+def compute_layers(tree: JunctionTree, root: int | None = None) -> LayerSchedule:
+    """Layer the tree from ``root`` (default: the tree's current root)."""
+    if root is not None and root != tree.root:
+        tree.set_root(root)
+    depth = tree.depth
+    max_d = max(depth)
+    clique_layers: list[list[int]] = [[] for _ in range(max_d + 1)]
+    for cid, d in enumerate(depth):
+        clique_layers[d].append(cid)
+    separator_layers: list[list[int]] = [[] for _ in range(max_d)] if max_d else []
+    for cid in range(tree.num_cliques):
+        if tree.parent[cid] >= 0:
+            separator_layers[depth[cid] - 1].append(tree.parent_sep[cid])
+    return LayerSchedule(
+        root=tree.root,
+        clique_layers=tuple(tuple(sorted(layer)) for layer in clique_layers),
+        separator_layers=tuple(tuple(sorted(layer)) for layer in separator_layers),
+    )

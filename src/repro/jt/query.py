@@ -1,0 +1,59 @@
+"""Posterior queries over a calibrated junction tree."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.jt.structure import TreeState
+from repro.potential.factor import Potential
+from repro.potential.ops import marginalize, normalize
+
+
+def posterior(state: TreeState, var_name: str) -> np.ndarray:
+    """``P(var | evidence)`` as a probability vector over the var's states.
+
+    Marginalises the smallest clique containing the variable (all cliques
+    agree after calibration — the test-suite checks this).
+    """
+    tree = state.tree
+    if var_name not in tree.net:
+        raise QueryError(f"unknown variable {var_name!r}")
+    cid = tree.smallest_clique_with(var_name)
+    marg = marginalize(state.clique_pot[cid], (var_name,))
+    total = float(marg.values.sum())
+    if total <= 0.0 or not np.isfinite(total):
+        raise QueryError(f"cannot normalise posterior of {var_name!r} (total={total})")
+    return marg.values / total
+
+
+def all_posteriors(state: TreeState, targets: tuple[str, ...] = ()) -> dict[str, np.ndarray]:
+    """Posteriors for ``targets`` (default: every variable in the network)."""
+    names = targets or state.tree.net.variable_names
+    return {name: posterior(state, name) for name in names}
+
+
+def joint_posterior(state: TreeState, var_names: tuple[str, ...]) -> Potential:
+    """Joint posterior of variables that co-occur in a single clique."""
+    tree = state.tree
+    want = set(var_names)
+    candidates = [c for c in tree.cliques if want <= set(c.domain.names)]
+    if not candidates:
+        raise QueryError(
+            f"variables {sorted(want)} do not share a clique; "
+            "joint queries outside a clique require variable elimination"
+        )
+    clique = min(candidates, key=lambda c: (c.size, c.id))
+    marg = marginalize(state.clique_pot[clique.id], var_names)
+    normalize(marg)
+    return marg
+
+
+def log_evidence(state: TreeState) -> float:
+    """``log P(evidence)`` from the root table and accumulated constants."""
+    root_total = float(state.clique_pot[state.tree.root].values.sum())
+    if root_total <= 0.0:
+        return -math.inf
+    return state.log_norm + math.log(root_total)

@@ -1,0 +1,84 @@
+"""Root selection (paper §2): pick the root minimising the number of layers.
+
+The number of layer barriers in the collect/distribute passes equals the
+tree height from the root, so Fast-BNI roots the tree at a clique of
+minimum eccentricity — a *center* of the tree.  For trees the center lies
+on the middle of a diameter path, found with two BFS passes in O(n); we
+also expose the brute-force argmin for the test-suite and the ablation
+bench.
+"""
+
+from __future__ import annotations
+
+from repro.jt.structure import JunctionTree
+
+
+def _bfs_far(tree: JunctionTree, start: int) -> tuple[int, list[int], list[int]]:
+    """BFS from ``start``; returns (farthest node, distances, parents)."""
+    n = tree.num_cliques
+    dist = [-1] * n
+    par = [-1] * n
+    dist[start] = 0
+    order = [start]
+    head = 0
+    while head < len(order):
+        u = order[head]
+        head += 1
+        for v, _ in tree.nbrs[u]:
+            if dist[v] == -1:
+                dist[v] = dist[u] + 1
+                par[v] = u
+                order.append(v)
+    far = max(range(n), key=lambda i: (dist[i], -i))
+    return far, dist, par
+
+
+def tree_center(tree: JunctionTree) -> int:
+    """A clique of minimum eccentricity, via the diameter-path midpoint.
+
+    Deterministic: of the one or two central nodes on the diameter path the
+    one nearer the path start (smaller index along the path) is returned.
+    """
+    u, _, _ = _bfs_far(tree, 0)
+    v, _, par = _bfs_far(tree, u)
+    # Reconstruct the u→v diameter path.
+    path = [v]
+    while path[-1] != u:
+        path.append(par[path[-1]])
+    path.reverse()
+    return path[(len(path) - 1) // 2]
+
+
+def eccentricities(tree: JunctionTree) -> list[int]:
+    """Eccentricity of every clique (brute force, O(n²); tests/ablation)."""
+    out: list[int] = []
+    for start in range(tree.num_cliques):
+        _, dist, _ = _bfs_far(tree, start)
+        out.append(max(dist))
+    return out
+
+
+def best_root_bruteforce(tree: JunctionTree) -> int:
+    """Argmin-eccentricity root by exhaustive BFS (reference implementation)."""
+    ecc = eccentricities(tree)
+    return min(range(tree.num_cliques), key=lambda i: (ecc[i], i))
+
+
+def select_root(tree: JunctionTree, strategy: str = "center") -> int:
+    """Apply a root-selection strategy and re-root the tree.
+
+    ``"center"``  — the paper's strategy (minimum eccentricity);
+    ``"first"``   — keep clique 0 (what a naive implementation does);
+    ``"max-size"``— largest clique as root (a common folk heuristic,
+    included for the ablation).
+    """
+    if strategy == "center":
+        root = tree_center(tree)
+    elif strategy == "first":
+        root = 0
+    elif strategy == "max-size":
+        root = max(range(tree.num_cliques), key=lambda i: (tree.cliques[i].size, -i))
+    else:
+        raise ValueError(f"unknown root strategy {strategy!r}")
+    tree.set_root(root)
+    return root

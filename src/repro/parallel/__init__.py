@@ -1,0 +1,40 @@
+"""Parallel execution runtime (the OpenMP substitute — see DESIGN.md).
+
+The paper's engines are C++/OpenMP; in Python the equivalents are:
+
+* :class:`~repro.parallel.backend.SerialBackend` — inline execution
+  (``t=1`` in the paper's sweeps);
+* :class:`~repro.parallel.backend.ThreadBackend` — a persistent
+  ``ThreadPoolExecutor``; NumPy kernels release the GIL on large arrays,
+  so chunked table ops genuinely overlap;
+* :class:`~repro.parallel.backend.ProcessBackend` — a persistent
+  ``ProcessPoolExecutor`` over :mod:`multiprocessing.shared_memory`
+  arrays; sidesteps the GIL at the cost of task-dispatch latency.
+
+Work units are *entry-range chunks* of potential tables
+(:mod:`repro.parallel.chunking`), referenced through
+:class:`~repro.parallel.sharedmem.ArrayRef` so the same kernel code runs
+on every backend.
+"""
+
+from repro.parallel.backend import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.parallel.chunking import chunk_ranges, chunk_weighted
+from repro.parallel.sharedmem import ArrayRef, SharedArena
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "chunk_ranges",
+    "chunk_weighted",
+    "ArrayRef",
+    "SharedArena",
+]

@@ -1,0 +1,42 @@
+"""Dense discrete potential tables and the paper's three dominant operations.
+
+The junction-tree algorithm spends almost all of its time in three
+potential-table operations (paper §2): **marginalization** (clique table →
+separator table), **extension** (separator table broadcast into a clique
+table) and **reduction** (zeroing entries inconsistent with evidence).  All
+three reduce to computing *index mappings* between the flat entry spaces of
+two tables over overlapping variable sets — that computation is what Fast-BNI
+parallelises at entry granularity.
+
+Layout.  A :class:`~repro.potential.domain.Domain` fixes a variable order and
+row-major (C) strides; a :class:`~repro.potential.factor.Potential` is a
+domain plus a flat ``float64`` array.  Flat entry index *i* decodes into the
+mixed-radix digit vector of the variable states, exactly as in the paper's
+C++ implementation.
+"""
+
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.index_map import map_indices, map_indices_range, state_digits
+from repro.potential.ops import (
+    divide,
+    extend,
+    marginalize,
+    multiply,
+    normalize,
+    reduce_evidence,
+)
+
+__all__ = [
+    "Domain",
+    "Potential",
+    "map_indices",
+    "map_indices_range",
+    "state_digits",
+    "multiply",
+    "divide",
+    "marginalize",
+    "extend",
+    "normalize",
+    "reduce_evidence",
+]

@@ -1,0 +1,135 @@
+"""Variable domains: ordered scopes with mixed-radix strides.
+
+A :class:`Domain` is the index space of a potential table.  It fixes an
+ordered tuple of variables and the row-major strides that turn a joint state
+``(s_1, ..., s_k)`` into a flat entry index ``sum_i s_i * stride_i``.  All
+index-mapping computations (:mod:`repro.potential.index_map`) are pure
+arithmetic over these strides, which is what makes them trivially
+data-parallel over entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bn.variable import Variable
+from repro.errors import PotentialError
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An ordered variable scope with precomputed strides."""
+
+    variables: tuple[Variable, ...]
+    cards: np.ndarray = field(init=False, repr=False, compare=False)
+    strides: np.ndarray = field(init=False, repr=False, compare=False)
+    size: int = field(init=False, compare=False)
+    _pos: dict[str, int] = field(init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        variables = tuple(self.variables)
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise PotentialError(f"duplicate variables in domain: {names}")
+        object.__setattr__(self, "variables", variables)
+        # Python-int product first: card products can exceed int64 and must
+        # fail loudly rather than wrap around.
+        size = 1
+        for v in variables:
+            size *= v.cardinality
+        if size >= 2**62:
+            raise PotentialError(
+                f"domain over {[v.name for v in variables]} has {size} entries; "
+                "dense potentials of this size are not representable"
+            )
+        cards = np.array([v.cardinality for v in variables], dtype=np.int64)
+        # Row-major strides: last variable is fastest-varying (stride 1).
+        strides = np.ones(len(variables), dtype=np.int64)
+        for i in range(len(variables) - 2, -1, -1):
+            strides[i] = strides[i + 1] * cards[i + 1]
+        cards.setflags(write=False)
+        strides.setflags(write=False)
+        object.__setattr__(self, "cards", cards)
+        object.__setattr__(self, "strides", strides)
+        object.__setattr__(self, "size", size)
+        object.__setattr__(self, "_pos", {n: i for i, n in enumerate(names)})
+
+    # ------------------------------------------------------------------ query
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(int(c) for c in self.cards)
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __contains__(self, item: object) -> bool:
+        name = item.name if isinstance(item, Variable) else item
+        return name in self._pos
+
+    def axis(self, variable: Variable | str) -> int:
+        """Position of ``variable`` in this domain's order."""
+        name = variable.name if isinstance(variable, Variable) else variable
+        try:
+            return self._pos[name]
+        except KeyError:
+            raise PotentialError(f"variable {name!r} not in domain {self.names}") from None
+
+    def stride(self, variable: Variable | str) -> int:
+        return int(self.strides[self.axis(variable)])
+
+    def card(self, variable: Variable | str) -> int:
+        return int(self.cards[self.axis(variable)])
+
+    # ------------------------------------------------------------ set algebra
+    def subset(self, names: tuple[str, ...] | list[str] | set[str]) -> "Domain":
+        """Sub-domain keeping this domain's order for the named variables."""
+        keep = set(names)
+        unknown = keep - set(self.names)
+        if unknown:
+            raise PotentialError(f"variables {sorted(unknown)} not in domain {self.names}")
+        return Domain(tuple(v for v in self.variables if v.name in keep))
+
+    def union(self, other: "Domain") -> "Domain":
+        """Variables of ``self`` followed by the novel variables of ``other``."""
+        extra = tuple(v for v in other.variables if v.name not in self._pos)
+        for v in other.variables:
+            if v.name in self._pos and self.variables[self._pos[v.name]] != v:
+                raise PotentialError(f"variable {v.name!r} differs between domains")
+        return Domain(self.variables + extra)
+
+    def intersection_names(self, other: "Domain") -> tuple[str, ...]:
+        other_names = set(other.names)
+        return tuple(n for n in self.names if n in other_names)
+
+    # --------------------------------------------------------------- indexing
+    def flat_index(self, assignment: dict[str, str | int]) -> int:
+        """Flat entry index for a complete assignment of this domain."""
+        idx = 0
+        for v, s in zip(self.variables, self.strides):
+            if v.name not in assignment:
+                raise PotentialError(f"assignment missing variable {v.name!r}")
+            idx += v.state_index(assignment[v.name]) * int(s)
+        return idx
+
+    def unflatten(self, index: int) -> dict[str, int]:
+        """Decode a flat entry index into ``{name: state_index}``."""
+        if not 0 <= index < self.size:
+            raise PotentialError(f"index {index} out of range for domain of size {self.size}")
+        out: dict[str, int] = {}
+        for v, s, c in zip(self.variables, self.strides, self.cards):
+            out[v.name] = (index // int(s)) % int(c)
+        return out
+
+    def assignments(self):
+        """Iterate all joint assignments as ``{name: state_index}`` dicts.
+
+        Exponential — intended for tests and tiny oracles only.
+        """
+        for i in range(self.size):
+            yield self.unflatten(i)

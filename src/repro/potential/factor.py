@@ -1,0 +1,106 @@
+"""Potential tables: a domain plus a flat float64 value vector.
+
+:class:`Potential` is mutable (calibration updates tables in place — the
+HPC guide's "in-place operations, views not copies" idiom) but its domain is
+frozen.  The values are always a C-contiguous 1-D array of length
+``domain.size``; the N-D view is available via :meth:`Potential.nd` for the
+reshape/sum fast paths.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.bn.cpt import CPT
+from repro.bn.variable import Variable
+from repro.errors import PotentialError
+from repro.potential.domain import Domain
+
+
+class Potential:
+    """A non-negative function over the joint states of a domain."""
+
+    __slots__ = ("domain", "values")
+
+    def __init__(self, domain: Domain, values: np.ndarray | None = None) -> None:
+        self.domain = domain
+        if values is None:
+            self.values = np.ones(domain.size, dtype=np.float64)
+        else:
+            arr = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+            if arr.size != domain.size:
+                raise PotentialError(
+                    f"values have {arr.size} entries, domain {domain.names} "
+                    f"requires {domain.size}"
+                )
+            self.values = arr
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def ones(cls, variables: tuple[Variable, ...]) -> "Potential":
+        return cls(Domain(variables))
+
+    @classmethod
+    def zeros(cls, variables: tuple[Variable, ...]) -> "Potential":
+        d = Domain(variables)
+        return cls(d, np.zeros(d.size))
+
+    @classmethod
+    def from_cpt(cls, cpt: CPT) -> "Potential":
+        """A potential over ``parents + (child,)`` with the CPT's values.
+
+        The CPT layout (child axis last, C order) matches the domain stride
+        convention, so this is a zero-copy reshape.
+        """
+        return cls(Domain(cpt.variables), cpt.table.reshape(-1))
+
+    def copy(self) -> "Potential":
+        return Potential(self.domain, self.values.copy())
+
+    # ----------------------------------------------------------------- access
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return self.domain.variables
+
+    @property
+    def size(self) -> int:
+        return self.domain.size
+
+    def nd(self) -> np.ndarray:
+        """N-D (shape = cards) view of the flat values; shares memory."""
+        return self.values.reshape(self.domain.shape)
+
+    def value(self, assignment: Mapping[str, str | int]) -> float:
+        """Entry for a complete assignment of this potential's domain."""
+        return float(self.values[self.domain.flat_index(dict(assignment))])
+
+    def total(self) -> float:
+        return float(self.values.sum())
+
+    # ------------------------------------------------------------- invariants
+    def is_valid(self) -> bool:
+        """Non-negative and finite everywhere."""
+        return bool(np.all(self.values >= 0) and np.all(np.isfinite(self.values)))
+
+    def allclose(self, other: "Potential", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Value equality up to tolerance; requires identical domain order."""
+        return self.domain == other.domain and bool(
+            np.allclose(self.values, other.values, rtol=rtol, atol=atol)
+        )
+
+    def same_distribution(self, other: "Potential", rtol: float = 1e-9) -> bool:
+        """Compare as probability distributions, ignoring variable order."""
+        if set(self.domain.names) != set(other.domain.names):
+            return False
+        perm = [other.domain.axis(n) for n in self.domain.names]
+        other_vals = other.nd().transpose(perm).reshape(-1)
+        a, b = self.values, other_vals
+        ta, tb = a.sum(), b.sum()
+        if ta <= 0 or tb <= 0:
+            return bool(np.allclose(a, b, rtol=rtol, atol=1e-12))
+        return bool(np.allclose(a / ta, b / tb, rtol=rtol, atol=1e-12))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Potential({', '.join(self.domain.names)}; size={self.size})"

@@ -1,0 +1,104 @@
+"""Max-product counterparts of the potential operations.
+
+Replacing sum with max in marginalization turns the junction tree's
+sum-product calibration into a max-product dynamic program whose root
+maximum is the probability of the *most probable explanation* (MPE).
+These kernels mirror :mod:`repro.potential.ops` (both implementations) and
+add the argmax bookkeeping the MPE backtrace needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PotentialError
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.index_map import map_indices
+from repro.potential.ops import _check_method
+
+
+def max_marginalize(pot: Potential, keep, method: str = "auto") -> Potential:
+    """``out[s] = max over entries mapping to s`` (max-projection)."""
+    method = _check_method(method)
+    out_dom = pot.domain.subset(tuple(keep))
+    if out_dom.names == pot.domain.names:
+        return pot.copy()
+    if method == "ndview":
+        drop = tuple(i for i, v in enumerate(pot.domain.variables)
+                     if v.name not in out_dom)
+        vals = pot.nd().max(axis=drop).reshape(-1)
+        return Potential(out_dom, np.ascontiguousarray(vals))
+    imap = map_indices(pot.domain, out_dom)
+    vals = np.full(out_dom.size, -np.inf)
+    np.maximum.at(vals, imap, pot.values)
+    return Potential(out_dom, np.where(np.isfinite(vals), vals, 0.0))
+
+
+def max_marginalize_argmax(pot: Potential, keep) -> tuple[Potential, np.ndarray]:
+    """Max-projection plus, per output entry, the flat source index achieving it.
+
+    The argmax array is what the MPE backtrace walks: given the separator
+    assignment chosen upstream, it recovers the maximising clique entry.
+    """
+    out_dom = pot.domain.subset(tuple(keep))
+    imap = map_indices(pot.domain, out_dom)
+    vals = np.full(out_dom.size, -np.inf)
+    arg = np.zeros(out_dom.size, dtype=np.int64)
+    # Stable single pass: later entries win only on strict improvement.
+    for i, (m, v) in enumerate(zip(imap, pot.values)):
+        if v > vals[m]:
+            vals[m] = v
+            arg[m] = i
+    return Potential(out_dom, np.where(np.isfinite(vals), vals, 0.0)), arg
+
+
+def max_marginalize_argmax_vec(pot: Potential, keep) -> tuple[Potential, np.ndarray]:
+    """Vectorised :func:`max_marginalize_argmax` (lexicographic-sort trick)."""
+    out_dom = pot.domain.subset(tuple(keep))
+    if out_dom.size == pot.domain.size:
+        return pot.copy(), np.arange(pot.domain.size, dtype=np.int64)
+    imap = map_indices(pot.domain, out_dom)
+    # Sort by (group, value); the last element of each group is its max.
+    order = np.lexsort((pot.values, imap))
+    sorted_groups = imap[order]
+    boundaries = np.empty(len(order), dtype=bool)
+    boundaries[:-1] = sorted_groups[1:] != sorted_groups[:-1]
+    boundaries[-1] = True
+    winners = order[boundaries]
+    groups = sorted_groups[boundaries]
+    vals = np.zeros(out_dom.size)
+    arg = np.zeros(out_dom.size, dtype=np.int64)
+    vals[groups] = pot.values[winners]
+    arg[groups] = winners
+    # Ties: the sort picks the largest flat index among maxima; the loop
+    # reference picks the smallest.  Normalise to smallest for determinism.
+    ties = _smallest_argmax_fix(pot.values, imap, vals, out_dom.size)
+    if ties is not None:
+        arg = ties
+    return Potential(out_dom, vals), arg
+
+
+def _smallest_argmax_fix(values: np.ndarray, imap: np.ndarray,
+                         maxima: np.ndarray, dst_size: int) -> np.ndarray | None:
+    """First flat index attaining each group's maximum (deterministic ties)."""
+    hits = values >= maxima[imap] - 0.0  # exact equality against group max
+    idx = np.arange(len(values), dtype=np.int64)
+    arg = np.full(dst_size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(arg, imap[hits], idx[hits])
+    return np.where(arg == np.iinfo(np.int64).max, 0, arg)
+
+
+def restrict(pot: Potential, assignment: dict[str, int]) -> Potential:
+    """Slice a potential on a partial assignment (keeps remaining vars)."""
+    for name in assignment:
+        if name not in pot.domain:
+            raise PotentialError(f"variable {name!r} not in domain {pot.domain.names}")
+    keep = tuple(n for n in pot.domain.names if n not in assignment)
+    nd = pot.nd()
+    index = tuple(
+        assignment[v.name] if v.name in assignment else slice(None)
+        for v in pot.domain.variables
+    )
+    sliced = np.ascontiguousarray(nd[index]).reshape(-1)
+    return Potential(pot.domain.subset(keep), sliced)

@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic code in the library accepts a ``seed`` argument that may be an
+``int``, ``None`` or an existing :class:`numpy.random.Generator`, and funnels
+it through :func:`as_rng`.  Benchmarks and tests pass explicit integer seeds
+so that every run of an experiment sees the same networks and test cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator"
+
+
+def as_rng(seed: int | None | np.random.Generator = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so callers can thread
+    one generator through a pipeline without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None | np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    Used by the process-pool backend so each worker draws from its own
+    stream — giving run-to-run determinism regardless of scheduling order.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    root = as_rng(seed)
+    return [np.random.default_rng(s) for s in root.spawn(n)]

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bn.datasets import load_dataset
+from repro.bn.generators import random_network
+
+
+@pytest.fixture(scope="session")
+def asia():
+    return load_dataset("asia")
+
+
+@pytest.fixture(scope="session")
+def cancer():
+    return load_dataset("cancer")
+
+
+@pytest.fixture(scope="session")
+def sprinkler():
+    return load_dataset("sprinkler")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_random_nets():
+    """A batch of small random networks (enumeration-oracle friendly)."""
+    return [
+        random_network(n, state_dist=3, avg_parents=1.4, max_in_degree=3,
+                       window=5, rng=seed, name=f"rand{n}_{seed}")
+        for n, seed in [(8, 0), (10, 1), (12, 2), (14, 3)]
+    ]

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if a.dest == "command")
+        assert set(sub.choices) == {
+            "table1", "scaling", "granularity", "root", "primitives",
+            "overhead", "heuristics", "info", "query",
+        }
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.threads == "1,2,4,8"
+        assert args.cases is None
+
+    def test_invalid_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scaling", "--network", "alarm"])
+
+
+class TestCommands:
+    def test_info_bundled(self, capsys):
+        assert main(["info", "asia"]) == 0
+        out = capsys.readouterr().out
+        assert "8 nodes" in out
+        assert "num_cliques" in out
+
+    def test_info_analog(self, capsys):
+        assert main(["info", "hailfinder"]) == 0
+        assert "56 nodes" in capsys.readouterr().out
+
+    def test_query_with_evidence(self, capsys):
+        rc = main([
+            "query", "asia",
+            "--evidence", json.dumps({"smoke": "yes"}),
+            "--targets", "lung",
+            "--mode", "seq", "--workers", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P(lung | e)" in out
+        assert "log P(e)" in out
+
+    def test_query_parallel_mode(self, capsys):
+        rc = main(["query", "sprinkler", "--evidence", '{"WetGrass": "yes"}',
+                   "--targets", "Rain", "--workers", "2"])
+        assert rc == 0
+        assert "P(Rain | e)" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Unit tests for repro.bn.cpt."""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpt import CPT
+from repro.bn.variable import Variable
+from repro.errors import CPTError
+
+
+@pytest.fixture
+def a():
+    return Variable.binary("a")
+
+
+@pytest.fixture
+def b():
+    return Variable.with_arity("b", 3)
+
+
+class TestValidation:
+    def test_root_cpt(self, a):
+        cpt = CPT(a, (), np.array([0.3, 0.7]))
+        assert cpt.size == 2
+        assert cpt.variables == (a,)
+
+    def test_conditional_cpt(self, a, b):
+        table = np.full((2, 3), 1 / 3)
+        cpt = CPT(b, (a,), table)
+        assert cpt.size == 6
+        assert cpt.variables == (a, b)
+
+    def test_wrong_shape_rejected(self, a, b):
+        with pytest.raises(CPTError, match="shape"):
+            CPT(b, (a,), np.full((3, 2), 0.5))
+
+    def test_rows_must_sum_to_one(self, a):
+        with pytest.raises(CPTError, match="sum to 1"):
+            CPT(a, (), np.array([0.5, 0.6]))
+
+    def test_negative_entries_rejected(self, a):
+        with pytest.raises(CPTError, match="negative"):
+            CPT(a, (), np.array([-0.5, 1.5]))
+
+    def test_nan_rejected(self, a):
+        with pytest.raises(CPTError):
+            CPT(a, (), np.array([np.nan, 1.0]))
+
+    def test_duplicate_scope_rejected(self, a):
+        with pytest.raises(CPTError, match="duplicate"):
+            CPT(a, (a,), np.full((2, 2), 0.5))
+
+    def test_table_read_only(self, a):
+        cpt = CPT(a, (), np.array([0.4, 0.6]))
+        with pytest.raises(ValueError):
+            cpt.table[0] = 1.0
+
+
+class TestLookup:
+    def test_prob_root(self, a):
+        cpt = CPT(a, (), np.array([0.3, 0.7]))
+        assert cpt.prob("yes") == pytest.approx(0.7)
+        assert cpt.prob(0) == pytest.approx(0.3)
+
+    def test_prob_conditional(self, a, b):
+        table = np.array([[0.2, 0.3, 0.5], [0.1, 0.1, 0.8]])
+        cpt = CPT(b, (a,), table)
+        assert cpt.prob("s2", {"a": "yes"}) == pytest.approx(0.8)
+
+    def test_prob_missing_parent(self, a, b):
+        cpt = CPT.uniform(b, (a,))
+        with pytest.raises(CPTError, match="missing parent"):
+            cpt.prob("s0", {})
+
+
+class TestConstructors:
+    def test_uniform(self, a, b):
+        cpt = CPT.uniform(b, (a,))
+        assert np.allclose(cpt.table, 1 / 3)
+
+    def test_random_rows_normalised(self, a, b, ):
+        rng = np.random.default_rng(0)
+        cpt = CPT.random(b, (a,), rng=rng)
+        assert np.allclose(cpt.table.sum(axis=-1), 1.0)
+
+    def test_random_deterministic_with_seed(self, a, b):
+        c1 = CPT.random(b, (a,), rng=np.random.default_rng(7))
+        c2 = CPT.random(b, (a,), rng=np.random.default_rng(7))
+        assert np.array_equal(c1.table, c2.table)
+
+    def test_random_concentration_skews(self, b):
+        rng = np.random.default_rng(0)
+        peaked = CPT.random(b, (), rng=rng, concentration=0.05)
+        assert peaked.table.max() > 0.9  # near-deterministic row
+
+    def test_random_invalid_concentration(self, b):
+        with pytest.raises(CPTError):
+            CPT.random(b, (), concentration=0.0)
+
+    def test_renormalized_repairs_drift(self, a):
+        cpt = CPT(a, (), np.array([0.5, 0.5]))
+        drifted = np.array(cpt.table) * 1.000000001
+        fixed = CPT(a, (), drifted / drifted.sum(axis=-1, keepdims=True)).renormalized()
+        assert np.allclose(fixed.table.sum(axis=-1), 1.0)

@@ -1,0 +1,63 @@
+"""Tests for the bundled networks (Asia / Cancer / Sprinkler ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.enumeration import EnumerationEngine
+from repro.bn.datasets import BUNDLED, load_dataset
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", BUNDLED)
+    def test_loads_and_validates(self, name):
+        net = load_dataset(name)
+        assert net.num_variables >= 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_asia_structure(self, asia):
+        assert asia.num_variables == 8
+        assert {p.name for p in asia.parents("either")} == {"lung", "tub"}
+
+
+class TestKnownPosteriors:
+    """Values checked against the published Lauritzen–Spiegelhalter analysis."""
+
+    def test_asia_priors(self, asia):
+        result = EnumerationEngine(asia).infer({})
+        # P(lung=yes) = 0.5*0.1 + 0.5*0.01 = 0.055
+        idx = asia.variable("lung").state_index("yes")
+        assert result.posteriors["lung"][idx] == pytest.approx(0.055)
+        # P(tub=yes) = 0.01*0.05 + 0.99*0.01
+        idx = asia.variable("tub").state_index("yes")
+        assert result.posteriors["tub"][idx] == pytest.approx(0.0104)
+
+    def test_asia_smoking_raises_cancer(self, asia):
+        en = EnumerationEngine(asia)
+        yes = asia.variable("lung").state_index("yes")
+        p_smoker = en.infer({"smoke": "yes"}).posteriors["lung"][yes]
+        p_nonsmoker = en.infer({"smoke": "no"}).posteriors["lung"][yes]
+        assert p_smoker == pytest.approx(0.1)
+        assert p_nonsmoker == pytest.approx(0.01)
+
+    def test_sprinkler_explaining_away(self, sprinkler):
+        en = EnumerationEngine(sprinkler)
+        on = sprinkler.variable("Sprinkler").state_index("on")
+        p_wet = en.infer({"WetGrass": "yes"}).posteriors["Sprinkler"][on]
+        p_wet_rain = en.infer({"WetGrass": "yes", "Rain": "yes"}).posteriors["Sprinkler"][on]
+        # Observing rain explains the wet grass away.
+        assert p_wet_rain < p_wet
+
+    def test_cancer_prior(self, cancer):
+        result = EnumerationEngine(cancer).infer({})
+        t = cancer.variable("Cancer").state_index("True")
+        # 0.9*(0.3*0.03+0.7*0.001) + 0.1*(0.3*0.05+0.7*0.02)
+        expected = 0.9 * (0.3 * 0.03 + 0.7 * 0.001) + 0.1 * (0.3 * 0.05 + 0.7 * 0.02)
+        assert result.posteriors["Cancer"][t] == pytest.approx(expected)
+
+    def test_distributions_normalised(self, asia):
+        res = EnumerationEngine(asia).infer({"xray": "yes"})
+        for dist in res.posteriors.values():
+            assert np.isclose(dist.sum(), 1.0)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.potential.domain."""
+
+import numpy as np
+import pytest
+
+from repro.bn.variable import Variable
+from repro.errors import PotentialError
+from repro.potential.domain import Domain
+
+
+@pytest.fixture
+def abc():
+    return (Variable.binary("a"), Variable.with_arity("b", 3), Variable.with_arity("c", 4))
+
+
+class TestConstruction:
+    def test_strides_row_major(self, abc):
+        d = Domain(abc)
+        assert list(d.cards) == [2, 3, 4]
+        assert list(d.strides) == [12, 4, 1]
+        assert d.size == 24
+
+    def test_empty_domain(self):
+        d = Domain(())
+        assert d.size == 1
+        assert len(d) == 0
+
+    def test_duplicate_variables_rejected(self, abc):
+        with pytest.raises(PotentialError):
+            Domain((abc[0], abc[0]))
+
+    def test_axis_and_stride(self, abc):
+        d = Domain(abc)
+        assert d.axis("b") == 1
+        assert d.stride("b") == 4
+        assert d.card("c") == 4
+
+    def test_axis_unknown(self, abc):
+        with pytest.raises(PotentialError):
+            Domain(abc).axis("zz")
+
+    def test_contains(self, abc):
+        d = Domain(abc)
+        assert "a" in d and abc[1] in d and "z" not in d
+
+
+class TestSetAlgebra:
+    def test_subset_keeps_order(self, abc):
+        d = Domain(abc)
+        sub = d.subset({"c", "a"})
+        assert sub.names == ("a", "c")
+
+    def test_subset_unknown_rejected(self, abc):
+        with pytest.raises(PotentialError):
+            Domain(abc).subset(("a", "zz"))
+
+    def test_union_order(self, abc):
+        d1 = Domain(abc[:2])
+        d2 = Domain(abc[1:])
+        assert d1.union(d2).names == ("a", "b", "c")
+
+    def test_union_conflicting_variable(self, abc):
+        other = Domain((Variable.with_arity("a", 5),))
+        with pytest.raises(PotentialError):
+            Domain(abc).union(other)
+
+    def test_intersection_names(self, abc):
+        d1 = Domain(abc)
+        d2 = Domain((abc[2], abc[0]))
+        assert d1.intersection_names(d2) == ("a", "c")
+
+
+class TestIndexing:
+    def test_flat_index_roundtrip(self, abc):
+        d = Domain(abc)
+        for i in range(d.size):
+            assert d.flat_index(d.unflatten(i)) == i
+
+    def test_flat_index_with_labels(self, abc):
+        d = Domain(abc)
+        idx = d.flat_index({"a": "yes", "b": "s2", "c": "s3"})
+        assert idx == 1 * 12 + 2 * 4 + 3
+
+    def test_flat_index_missing_var(self, abc):
+        with pytest.raises(PotentialError):
+            Domain(abc).flat_index({"a": 0})
+
+    def test_unflatten_out_of_range(self, abc):
+        with pytest.raises(PotentialError):
+            Domain(abc).unflatten(24)
+
+    def test_assignments_cover_space(self, abc):
+        d = Domain(abc[:2])
+        seen = {tuple(sorted(a.items())) for a in d.assignments()}
+        assert len(seen) == d.size
+
+    def test_arrays_read_only(self, abc):
+        d = Domain(abc)
+        with pytest.raises(ValueError):
+            d.cards[0] = 9
+        with pytest.raises(ValueError):
+            d.strides[0] = 9

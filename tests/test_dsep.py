@@ -1,0 +1,92 @@
+"""Tests for d-separation, plus the structural-independence oracle check."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.enumeration import EnumerationEngine
+from repro.bn.generators import random_network
+from repro.graph.dag import ancestors, d_separated, descendants
+from repro.jt import JunctionTreeEngine
+
+
+class TestReachability:
+    def test_ancestors(self, asia):
+        assert ancestors(asia, {"dysp"}) == {
+            "dysp", "bronc", "either", "smoke", "lung", "tub", "asia"
+        }
+
+    def test_descendants(self, asia):
+        assert descendants(asia, "smoke") == {"lung", "bronc", "either", "xray", "dysp"}
+
+
+class TestDSeparationAsia:
+    """Classic independence facts of the chest-clinic network."""
+
+    def test_chain_blocked_by_middle(self, asia):
+        assert d_separated(asia, "asia", "either", {"tub"})
+
+    def test_chain_open(self, asia):
+        assert not d_separated(asia, "asia", "either")
+
+    def test_collider_closed_by_default(self, asia):
+        # lung → either ← tub: marginally independent.
+        assert d_separated(asia, "lung", "tub")
+
+    def test_collider_opened_by_observation(self, asia):
+        assert not d_separated(asia, "lung", "tub", {"either"})
+
+    def test_collider_opened_by_descendant(self, asia):
+        # xray is a descendant of the collider 'either'.
+        assert not d_separated(asia, "lung", "tub", {"xray"})
+
+    def test_common_cause_blocked(self, asia):
+        assert not d_separated(asia, "lung", "bronc")
+        assert d_separated(asia, "lung", "bronc", {"smoke"})
+
+    def test_self_not_separated(self, asia):
+        assert not d_separated(asia, "lung", "lung")
+
+
+class TestDSeparationOracle:
+    """d-separation must imply conditional independence in the posteriors —
+    an end-to-end structural invariant needing no numeric reference."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dsep_implies_independence(self, seed):
+        net = random_network(9, state_dist=2, avg_parents=1.3, max_in_degree=2,
+                             window=4, rng=seed)
+        engine = JunctionTreeEngine(net)
+        names = list(net.variable_names)
+        rng = np.random.default_rng(seed)
+        checked = 0
+        # Local Markov property: y ⊥ x | parents(y) for every non-descendant
+        # x of y — guaranteed d-separations, so the oracle always fires.
+        for y in names:
+            pa = {p.name for p in net.parents(y)}
+            non_desc = set(names) - descendants(net, y) - {y} - pa
+            for x in sorted(non_desc):
+                given = pa
+                assert d_separated(net, x, y, given), (x, y, given)
+                z_states = {n: int(rng.integers(net.variable(n).cardinality))
+                            for n in given}
+                try:
+                    base = engine.infer(z_states).posteriors[x]
+                    with_y = engine.infer({**z_states, y: 0}).posteriors[x]
+                except Exception:
+                    continue  # zero-probability evidence combination
+                assert np.allclose(base, with_y, atol=1e-9), (x, y, given)
+                checked += 1
+        assert checked >= 1
+
+    def test_dsep_matches_networkx(self, asia):
+        nx = pytest.importorskip("networkx")
+        g = nx.DiGraph(list(asia.edges()))
+        rng = np.random.default_rng(0)
+        names = list(asia.variable_names)
+        for _ in range(60):
+            x, y = (names[i] for i in rng.choice(len(names), size=2, replace=False))
+            given = set(n for n in rng.choice(names, size=2, replace=False)) - {x, y}
+            if x == y:
+                continue
+            expected = nx.is_d_separator(g, {x}, {y}, given)
+            assert d_separated(asia, x, y, given) == expected, (x, y, given)

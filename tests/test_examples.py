@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+The large-scale example is exercised on a reduced configuration via its
+importable functions rather than __main__ (full munin2 takes ~1 min).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "P(lung" in out
+        assert "log P(evidence)" in out
+
+    def test_medical_diagnosis(self, capsys):
+        out = run_example("medical_diagnosis.py", capsys)
+        assert "Screening" in out
+        assert "explained away" in out
+
+    def test_build_your_own(self, capsys):
+        out = run_example("build_your_own.py", capsys)
+        assert "min-fill" in out
+        assert "P(state" in out
+
+    def test_advanced_queries(self, capsys):
+        out = run_example("advanced_queries.py", capsys)
+        assert "Most probable explanation" in out
+        assert "Shenoy" in out
+
+    def test_large_scale_functions_importable(self):
+        """The heavy example's helpers work on a small substitute network."""
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            mod = __import__("large_scale_parallel")
+        finally:
+            sys.path.pop(0)
+        from repro import FastBNI, generate_test_cases, load_dataset
+
+        net = load_dataset("asia")
+        cases = generate_test_cases(net, 2, 0.25, rng=0)
+        with FastBNI(net, mode="seq") as engine:
+            per_case = mod.time_engine(engine, cases)
+        assert per_case > 0

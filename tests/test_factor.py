@@ -1,0 +1,91 @@
+"""Unit tests for repro.potential.factor."""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpt import CPT
+from repro.bn.variable import Variable
+from repro.errors import PotentialError
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+
+
+@pytest.fixture
+def ab():
+    return (Variable.binary("a"), Variable.with_arity("b", 3))
+
+
+class TestConstruction:
+    def test_default_is_ones(self, ab):
+        p = Potential(Domain(ab))
+        assert np.all(p.values == 1.0)
+        assert p.size == 6
+
+    def test_values_length_checked(self, ab):
+        with pytest.raises(PotentialError):
+            Potential(Domain(ab), np.ones(5))
+
+    def test_nd_view_shares_memory(self, ab):
+        p = Potential(Domain(ab))
+        p.nd()[1, 2] = 5.0
+        assert p.values[5] == 5.0
+
+    def test_from_cpt_layout(self, ab):
+        a, b = ab
+        table = np.array([[0.2, 0.3, 0.5], [0.6, 0.3, 0.1]])
+        p = Potential.from_cpt(CPT(b, (a,), table))
+        assert p.domain.names == ("a", "b")
+        assert p.value({"a": 1, "b": 0}) == pytest.approx(0.6)
+
+    def test_zeros_and_copy(self, ab):
+        z = Potential.zeros(ab)
+        assert z.total() == 0.0
+        c = z.copy()
+        c.values[0] = 1.0
+        assert z.values[0] == 0.0
+
+
+class TestComparison:
+    def test_allclose_same_domain(self, ab):
+        p1 = Potential(Domain(ab), np.arange(6.0))
+        p2 = Potential(Domain(ab), np.arange(6.0) + 1e-13)
+        assert p1.allclose(p2)
+
+    def test_same_distribution_permuted(self, ab):
+        a, b = ab
+        rng = np.random.default_rng(0)
+        vals = rng.random((2, 3))
+        p1 = Potential(Domain((a, b)), vals.reshape(-1))
+        p2 = Potential(Domain((b, a)), vals.T.reshape(-1))
+        assert p1.same_distribution(p2)
+
+    def test_same_distribution_scaling_invariant(self, ab):
+        rng = np.random.default_rng(1)
+        vals = rng.random(6)
+        p1 = Potential(Domain(ab), vals)
+        p2 = Potential(Domain(ab), vals * 17.0)
+        assert p1.same_distribution(p2)
+        assert not p1.allclose(p2)
+
+    def test_different_scopes_not_same(self, ab):
+        p1 = Potential(Domain(ab))
+        p2 = Potential(Domain(ab[:1]))
+        assert not p1.same_distribution(p2)
+
+    def test_is_valid(self, ab):
+        p = Potential(Domain(ab))
+        assert p.is_valid()
+        p.values[0] = -1
+        assert not p.is_valid()
+        p.values[0] = np.inf
+        assert not p.is_valid()
+
+
+class TestAccess:
+    def test_value_by_labels(self, ab):
+        p = Potential(Domain(ab), np.arange(6.0))
+        assert p.value({"a": "yes", "b": "s1"}) == 4.0
+
+    def test_total(self, ab):
+        p = Potential(Domain(ab), np.arange(6.0))
+        assert p.total() == 15.0

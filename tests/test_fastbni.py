@@ -1,0 +1,160 @@
+"""Tests for the FastBNI engine: all modes × backends against the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.enumeration import EnumerationEngine
+from repro.bn.generators import chain_network, random_network, star_network
+from repro.bn.sampling import generate_test_cases
+from repro.core import FastBNI, FastBNIConfig
+from repro.errors import BackendError, EvidenceError
+
+MODES = ("seq", "inter", "intra", "hybrid")
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = FastBNIConfig()
+        assert cfg.mode == "hybrid"
+        assert cfg.backend == "thread"
+
+    @pytest.mark.parametrize("bad", [
+        dict(mode="warp"),
+        dict(backend="gpu"),
+        dict(num_workers=0),
+        dict(min_chunk=0),
+        dict(chunks_per_worker=0),
+        dict(parallel_threshold=-1),
+    ])
+    def test_invalid_config(self, bad):
+        with pytest.raises(BackendError):
+            FastBNIConfig(**bad)
+
+    def test_config_and_kwargs_mutually_exclusive(self, asia):
+        with pytest.raises(BackendError):
+            FastBNI(asia, FastBNIConfig(), mode="seq")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_matches_enumeration_asia(self, asia, mode):
+        en = EnumerationEngine(asia)
+        with FastBNI(asia, mode=mode, backend="thread" if mode != "seq" else "serial",
+                     num_workers=4, min_chunk=4, parallel_threshold=0) as eng:
+            for case in generate_test_cases(asia, 8, 0.25, rng=1):
+                got = eng.infer(case.evidence)
+                want = en.infer(case.evidence)
+                for name in asia.variable_names:
+                    assert np.allclose(got.posteriors[name],
+                                       want.posteriors[name], atol=1e-9)
+                assert got.log_evidence == pytest.approx(want.log_evidence, abs=1e-8)
+
+    @pytest.mark.parametrize("mode", ("inter", "intra", "hybrid"))
+    def test_serial_backend_matches(self, asia, mode):
+        """All parallel schedules degenerate correctly at t=1."""
+        en = EnumerationEngine(asia)
+        with FastBNI(asia, mode=mode, backend="serial", min_chunk=4,
+                     parallel_threshold=0) as eng:
+            for case in generate_test_cases(asia, 5, 0.25, rng=2):
+                got = eng.infer(case.evidence)
+                want = en.infer(case.evidence)
+                for name in asia.variable_names:
+                    assert np.allclose(got.posteriors[name],
+                                       want.posteriors[name], atol=1e-9)
+
+    def test_process_backend_matches(self, sprinkler):
+        en = EnumerationEngine(sprinkler)
+        with FastBNI(sprinkler, mode="hybrid", backend="process",
+                     num_workers=2, min_chunk=2, parallel_threshold=0) as eng:
+            for case in generate_test_cases(sprinkler, 3, 0.25, rng=3):
+                got = eng.infer(case.evidence)
+                want = en.infer(case.evidence)
+                for name in sprinkler.variable_names:
+                    assert np.allclose(got.posteriors[name],
+                                       want.posteriors[name], atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_networks_all_modes_agree(self, seed, small_random_nets):
+        net = small_random_nets[seed]
+        results = {}
+        case = generate_test_cases(net, 1, 0.3, rng=seed)[0]
+        for mode in MODES:
+            with FastBNI(net, mode=mode,
+                         backend="serial" if mode == "seq" else "thread",
+                         num_workers=4, min_chunk=8, parallel_threshold=0) as eng:
+                results[mode] = eng.infer(case.evidence)
+        ref = results["seq"]
+        for mode in MODES[1:]:
+            for name in net.variable_names:
+                assert np.allclose(results[mode].posteriors[name],
+                                   ref.posteriors[name], atol=1e-9), (mode, name)
+
+    def test_structure_extremes(self):
+        """Chain (deep) and star (flat) both calibrate correctly in hybrid."""
+        for net in (chain_network(18, rng=0), star_network(17, rng=0)):
+            en = EnumerationEngine(net)
+            with FastBNI(net, mode="hybrid", backend="thread", num_workers=4,
+                         min_chunk=4, parallel_threshold=0) as eng:
+                case = generate_test_cases(net, 1, 0.2, rng=1)[0]
+                got, want = eng.infer(case.evidence), en.infer(case.evidence)
+                for name in net.variable_names:
+                    assert np.allclose(got.posteriors[name],
+                                       want.posteriors[name], atol=1e-9)
+
+    def test_targets_restrict_output(self, asia):
+        with FastBNI(asia, mode="seq") as eng:
+            res = eng.infer({}, targets=("lung",))
+            assert set(res.posteriors) == {"lung"}
+
+    def test_impossible_evidence_raises(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as eng:
+            with pytest.raises(EvidenceError):
+                eng.infer({"lung": "yes", "either": "no"})
+
+    def test_repeated_inference_independent(self, asia):
+        """Engine state must fully reset between infer() calls."""
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as eng:
+            r1 = eng.infer({"smoke": "yes"})
+            _ = eng.infer({"smoke": "no"})
+            r3 = eng.infer({"smoke": "yes"})
+            for name in asia.variable_names:
+                assert np.allclose(r1.posteriors[name], r3.posteriors[name])
+
+
+class TestPlansAndCache:
+    def test_plans_cover_non_root_cliques(self, asia):
+        with FastBNI(asia, mode="seq") as eng:
+            expected = set(range(eng.tree.num_cliques)) - {eng.tree.root}
+            assert set(eng.plans) == expected
+
+    def test_map_cache_populated_by_parallel_modes(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2,
+                     min_chunk=1, parallel_threshold=0) as eng:
+            eng.infer({})
+            assert eng._map_cache  # maps were built and cached
+
+    def test_map_cache_respects_limit(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as eng:
+            eng.MAP_CACHE_LIMIT = 0
+            assert eng.get_map(0, 0, 100, ()) is None
+
+    def test_cache_hit_returns_same_array(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as eng:
+            cid = next(iter(eng.plans))
+            plan = eng.plans[cid]
+            size = eng.tree.cliques[cid].size
+            m1 = eng.get_map(cid, plan.sep_id, size, plan.marg_up)
+            m2 = eng.get_map(cid, plan.sep_id, size, plan.marg_up)
+            assert m1 is m2
+
+    def test_stats(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=3) as eng:
+            s = eng.stats()
+            assert s["num_workers"] == 3
+            assert s["num_layers"] >= 1
+
+    def test_name_includes_mode_and_backend(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as eng:
+            assert "hybrid" in eng.name and "thread" in eng.name
+        with FastBNI(asia, mode="seq") as eng:
+            assert eng.name == "fastbni-seq"

@@ -1,0 +1,113 @@
+"""Tests for the random-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generators import (
+    StateDistribution,
+    balanced_tree_network,
+    chain_network,
+    grid_network,
+    random_dag_edges,
+    random_network,
+    star_network,
+)
+from repro.errors import NetworkError
+
+
+class TestStateDistribution:
+    def test_sample_in_choices(self):
+        sd = StateDistribution((2, 4), (0.5, 0.5))
+        vals = sd.sample(np.random.default_rng(0), 100)
+        assert set(vals) <= {2, 4}
+
+    def test_capped_merges_weights(self):
+        sd = StateDistribution((2, 8, 16), (0.5, 0.25, 0.25)).capped(4)
+        assert sd.choices == (2, 4)
+        assert sd.weights == (0.5, 0.5)
+
+    def test_cap_below_two_rejected(self):
+        with pytest.raises(NetworkError):
+            StateDistribution.constant(3).capped(1)
+
+    def test_cardinality_below_two_rejected(self):
+        with pytest.raises(NetworkError):
+            StateDistribution((1,), (1.0,))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(NetworkError):
+            StateDistribution((2, 3), (1.0,))
+
+
+class TestRandomDag:
+    def test_parents_precede_children(self):
+        parents = random_dag_edges(50, 1.5, 3, 10, np.random.default_rng(0))
+        for i, plist in enumerate(parents):
+            assert all(p < i for p in plist)
+
+    def test_window_respected(self):
+        parents = random_dag_edges(50, 2.0, 5, 4, np.random.default_rng(1))
+        for i, plist in enumerate(parents):
+            assert all(i - p <= 4 for p in plist)
+
+    def test_max_in_degree_respected(self):
+        parents = random_dag_edges(80, 5.0, 2, 20, np.random.default_rng(2))
+        assert max(len(p) for p in parents) <= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(NetworkError):
+            random_dag_edges(0, 1.0, 2, 5, np.random.default_rng(0))
+
+
+class TestRandomNetwork:
+    def test_valid_and_deterministic(self):
+        n1 = random_network(20, rng=5)
+        n2 = random_network(20, rng=5)
+        assert n1.variable_names == n2.variable_names
+        for v in n1.variables:
+            assert np.array_equal(n1.cpt(v.name).table, n2.cpt(v.name).table)
+
+    def test_constant_cardinality(self):
+        net = random_network(15, state_dist=4, rng=0)
+        assert all(v.cardinality == 4 for v in net.variables)
+
+    def test_distribution_cardinalities(self):
+        sd = StateDistribution((2, 3), (0.5, 0.5))
+        net = random_network(30, state_dist=sd, rng=0)
+        assert {v.cardinality for v in net.variables} <= {2, 3}
+
+
+class TestStructuredGenerators:
+    def test_chain_shape(self):
+        net = chain_network(10, rng=0)
+        assert net.num_variables == 10
+        assert net.num_edges == 9
+        assert net.max_in_degree() == 1
+
+    def test_star_shape(self):
+        net = star_network(12, rng=0)
+        assert net.num_variables == 13
+        assert net.num_edges == 12
+        assert {c.name for c in net.children("hub")} == {
+            f"leaf{i:04d}" for i in range(12)
+        }
+
+    def test_balanced_tree_shape(self):
+        net = balanced_tree_network(3, 2, rng=0)
+        assert net.num_variables == 1 + 2 + 4 + 8
+
+    def test_tree_invalid_params(self):
+        with pytest.raises(NetworkError):
+            balanced_tree_network(-1, 2)
+
+    def test_grid_shape(self):
+        net = grid_network(3, 4, rng=0)
+        assert net.num_variables == 12
+        # interior nodes have exactly two parents
+        assert net.max_in_degree() == 2
+        assert net.num_edges == 3 * (4 - 1) + 4 * (3 - 1)
+
+    def test_all_generators_validate(self):
+        for net in (chain_network(5, rng=0), star_network(5, rng=0),
+                    balanced_tree_network(2, 3, rng=0), grid_network(2, 3, rng=0)):
+            net.validate()

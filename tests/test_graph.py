@@ -1,0 +1,153 @@
+"""Tests for moralization, triangulation, cliques and treewidth.
+
+networkx is used here (and only here) as an independent cross-check for
+chordality and maximal cliques.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.bn.generators import chain_network, random_network, star_network
+from repro.errors import JunctionTreeError
+from repro.graph.cliques import elimination_cliques, is_clique, maximal_cliques_check
+from repro.graph.moralize import check_symmetric, copy_adjacency, moralize
+from repro.graph.treewidth import log_max_clique_weight, ordering_width, total_clique_weight
+from repro.graph.triangulate import HEURISTICS, is_chordal, triangulate
+
+
+class TestMoralize:
+    def test_asia_moral_edges(self, asia):
+        adj = moralize(asia)
+        # Parents of 'either' (lung, tub) must be married.
+        assert "tub" in adj["lung"]
+        # Parents of 'dysp' (bronc, either) must be married.
+        assert "either" in adj["bronc"]
+        assert check_symmetric(adj)
+
+    def test_every_family_is_clique(self, asia):
+        adj = moralize(asia)
+        for cpt in asia.cpts:
+            fam = frozenset(v.name for v in cpt.variables)
+            assert is_clique(adj, fam)
+
+    def test_chain_moral_graph_is_path(self):
+        net = chain_network(5, rng=0)
+        adj = moralize(net)
+        degrees = sorted(len(nbrs) for nbrs in adj.values())
+        assert degrees == [1, 1, 2, 2, 2]
+
+    def test_copy_adjacency_independent(self, asia):
+        adj = moralize(asia)
+        cp = copy_adjacency(adj)
+        cp["smoke"].add("xray")
+        assert "xray" not in adj["smoke"]
+
+
+class TestTriangulate:
+    @pytest.mark.parametrize("heuristic", HEURISTICS)
+    def test_result_is_chordal(self, asia, heuristic):
+        adj = moralize(asia)
+        cards = {v.name: v.cardinality for v in asia.variables}
+        res = triangulate(adj, heuristic, cards)
+        assert is_chordal(res.adjacency)
+        g = nx.Graph({u: set(nbrs) for u, nbrs in res.adjacency.items()})
+        assert nx.is_chordal(g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_networks_chordal(self, seed):
+        net = random_network(25, state_dist=2, avg_parents=1.8, max_in_degree=4,
+                             window=8, rng=seed)
+        res = triangulate(moralize(net))
+        g = nx.Graph({u: set(nbrs) for u, nbrs in res.adjacency.items()})
+        assert nx.is_chordal(g)
+
+    def test_order_covers_all_nodes(self, asia):
+        res = triangulate(moralize(asia))
+        assert sorted(res.order) == sorted(asia.variable_names)
+
+    def test_fill_edges_not_in_original(self, asia):
+        adj = moralize(asia)
+        res = triangulate(adj)
+        for u, w in res.fill_edges:
+            assert w not in adj[u]
+
+    def test_already_chordal_no_fill(self):
+        net = chain_network(6, rng=0)
+        res = triangulate(moralize(net))
+        assert res.fill_edges == ()
+
+    def test_min_weight_needs_cards(self, asia):
+        with pytest.raises(JunctionTreeError):
+            triangulate(moralize(asia), "min-weight")
+
+    def test_unknown_heuristic(self, asia):
+        with pytest.raises(JunctionTreeError):
+            triangulate(moralize(asia), "max-fun")
+
+    def test_deterministic(self, asia):
+        r1 = triangulate(moralize(asia))
+        r2 = triangulate(moralize(asia))
+        assert r1.order == r2.order
+        assert r1.fill_edges == r2.fill_edges
+
+    def test_is_chordal_detects_hole(self):
+        cycle4 = {"a": {"b", "d"}, "b": {"a", "c"}, "c": {"b", "d"}, "d": {"c", "a"}}
+        assert not is_chordal(cycle4)
+        cycle4["a"].add("c")
+        cycle4["c"].add("a")
+        assert is_chordal(cycle4)
+
+
+class TestCliques:
+    def test_matches_networkx_maximal_cliques(self, asia):
+        res = triangulate(moralize(asia))
+        ours = set(elimination_cliques(res.elimination_cliques))
+        g = nx.Graph({u: set(nbrs) for u, nbrs in res.adjacency.items()})
+        theirs = {frozenset(c) for c in nx.find_cliques(g)}
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_on_random(self, seed):
+        net = random_network(20, avg_parents=1.6, max_in_degree=3, window=6, rng=seed)
+        res = triangulate(moralize(net))
+        ours = set(elimination_cliques(res.elimination_cliques))
+        g = nx.Graph({u: set(nbrs) for u, nbrs in res.adjacency.items()})
+        theirs = {frozenset(c) for c in nx.find_cliques(g)}
+        assert ours == theirs
+
+    def test_no_clique_contains_another(self, asia):
+        res = triangulate(moralize(asia))
+        cl = elimination_cliques(res.elimination_cliques)
+        assert maximal_cliques_check(res.adjacency, cl)
+
+    def test_star_single_hub_cliques(self):
+        net = star_network(6, rng=0)
+        res = triangulate(moralize(net))
+        cl = elimination_cliques(res.elimination_cliques)
+        assert all(len(c) == 2 for c in cl)
+        assert len(cl) == 6
+
+
+class TestTreewidth:
+    def test_chain_width_one(self):
+        net = chain_network(8, rng=0)
+        adj = moralize(net)
+        res = triangulate(adj)
+        assert ordering_width(adj, res.order) == 1
+
+    def test_width_bounds_clique_size(self, asia):
+        adj = moralize(asia)
+        res = triangulate(adj)
+        width = ordering_width(adj, res.order)
+        cl = elimination_cliques(res.elimination_cliques)
+        assert max(len(c) for c in cl) == width + 1
+
+    def test_total_clique_weight(self):
+        cl = [frozenset(["a", "b"]), frozenset(["b", "c"])]
+        cards = {"a": 2, "b": 3, "c": 4}
+        assert total_clique_weight(cl, cards) == 6 + 12
+
+    def test_log_max_clique_weight(self):
+        cl = [frozenset(["a", "b"]), frozenset(["c"])]
+        cards = {"a": 10, "b": 10, "c": 10}
+        assert log_max_clique_weight(cl, cards) == pytest.approx(2.0)

@@ -1,0 +1,133 @@
+"""Unit + property tests for the index-mapping kernel (the paper's key step)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bn.variable import Variable
+from repro.errors import PotentialError
+from repro.potential.domain import Domain
+from repro.potential.index_map import (
+    consistency_mask,
+    evidence_slice_indices,
+    map_indices,
+    map_indices_loop,
+    map_indices_range,
+    state_digits,
+)
+
+
+def make_domain(cards):
+    return Domain(tuple(Variable.with_arity(f"v{i}", c) for i, c in enumerate(cards)))
+
+
+class TestMapIndices:
+    def test_identity_map(self):
+        d = make_domain([2, 3])
+        assert np.array_equal(map_indices(d, d), np.arange(6))
+
+    def test_drop_leading_variable(self):
+        d = make_domain([2, 3])
+        sub = d.subset(("v1",))
+        assert np.array_equal(map_indices(d, sub), [0, 1, 2, 0, 1, 2])
+
+    def test_drop_trailing_variable(self):
+        d = make_domain([2, 3])
+        sub = d.subset(("v0",))
+        assert np.array_equal(map_indices(d, sub), [0, 0, 0, 1, 1, 1])
+
+    def test_empty_destination(self):
+        d = make_domain([2, 2])
+        assert np.array_equal(map_indices(d, Domain(())), [0, 0, 0, 0])
+
+    def test_matches_reference_loop(self):
+        d = make_domain([2, 3, 2, 4])
+        sub = d.subset(("v1", "v3"))
+        assert np.array_equal(map_indices(d, sub), map_indices_loop(d, sub))
+
+    def test_range_slices_full_map(self):
+        d = make_domain([3, 4, 2])
+        sub = d.subset(("v0", "v2"))
+        full = map_indices(d, sub)
+        assert np.array_equal(map_indices_range(d, sub, 5, 17), full[5:17])
+
+    def test_dst_not_subset_rejected(self):
+        d = make_domain([2, 2])
+        other = make_domain([2, 2, 2])
+        with pytest.raises(PotentialError):
+            map_indices(d, other)
+
+    def test_bad_range_rejected(self):
+        d = make_domain([2, 2])
+        with pytest.raises(PotentialError):
+            map_indices_range(d, d, 2, 10)
+
+    def test_state_digits(self):
+        d = make_domain([2, 3])
+        idx = np.arange(6)
+        assert np.array_equal(state_digits(d, idx, "v1"), [0, 1, 2, 0, 1, 2])
+        assert np.array_equal(state_digits(d, idx, "v0"), [0, 0, 0, 1, 1, 1])
+
+
+@st.composite
+def domain_and_subset(draw):
+    n = draw(st.integers(2, 5))
+    cards = draw(st.lists(st.integers(2, 4), min_size=n, max_size=n))
+    k = draw(st.integers(1, n))
+    keep = sorted(draw(st.permutations(range(n)))[:k])
+    d = make_domain(cards)
+    return d, d.subset(tuple(f"v{i}" for i in keep))
+
+
+class TestProperties:
+    @given(domain_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_map_agrees_with_unflatten(self, pair):
+        """m(i) must equal the flat index of i's restriction to dst."""
+        src, dst = pair
+        imap = map_indices(src, dst)
+        for i in range(0, src.size, max(1, src.size // 37)):
+            assignment = src.unflatten(i)
+            restricted = {n: assignment[n] for n in dst.names}
+            assert imap[i] == dst.flat_index(restricted)
+
+    @given(domain_and_subset())
+    @settings(max_examples=40, deadline=None)
+    def test_preimages_partition_source(self, pair):
+        """Every destination entry's preimage has size src.size/dst.size."""
+        src, dst = pair
+        imap = map_indices(src, dst)
+        counts = np.bincount(imap, minlength=dst.size)
+        assert (counts == src.size // dst.size).all()
+
+    @given(domain_and_subset())
+    @settings(max_examples=30, deadline=None)
+    def test_vectorised_equals_loop(self, pair):
+        src, dst = pair
+        assert np.array_equal(map_indices(src, dst), map_indices_loop(src, dst))
+
+
+class TestEvidenceIndices:
+    def test_slice_indices(self):
+        d = make_domain([2, 3])
+        idx = evidence_slice_indices(d, {"v0": 1})
+        assert np.array_equal(idx, [3, 4, 5])
+
+    def test_slice_all_observed(self):
+        d = make_domain([2, 3])
+        idx = evidence_slice_indices(d, {"v0": 1, "v1": 2})
+        assert np.array_equal(idx, [5])
+
+    def test_mask_complements_slice(self):
+        d = make_domain([2, 3, 2])
+        ev = {"v1": 1}
+        mask = consistency_mask(d, ev)
+        idx = evidence_slice_indices(d, ev)
+        assert np.array_equal(np.nonzero(mask)[0], np.sort(idx))
+
+    def test_unknown_evidence_var(self):
+        d = make_domain([2])
+        with pytest.raises(PotentialError):
+            consistency_mask(d, {"zz": 0})
+        with pytest.raises(PotentialError):
+            evidence_slice_indices(d, {"zz": 0})

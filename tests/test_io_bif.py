@@ -1,0 +1,113 @@
+"""Unit tests for the BIF parser/writer."""
+
+import numpy as np
+import pytest
+
+from repro.bn import io_bif
+from repro.bn.generators import random_network
+from repro.errors import ParseError
+
+MINI = """
+network test {
+}
+variable a {
+  type discrete [ 2 ] { yes, no };
+}
+variable b {
+  type discrete [ 3 ] { lo, mid, hi };
+}
+probability ( a ) {
+  table 0.2, 0.8;
+}
+probability ( b | a ) {
+  (yes) 0.1, 0.2, 0.7;
+  (no) 0.3, 0.3, 0.4;
+}
+"""
+
+
+class TestParse:
+    def test_mini_network(self):
+        net = io_bif.loads(MINI)
+        assert net.name == "test"
+        assert net.variable("b").states == ("lo", "mid", "hi")
+        assert net.cpt("b").prob("hi", {"a": "yes"}) == pytest.approx(0.7)
+
+    def test_comments_ignored(self):
+        net = io_bif.loads("// header\n" + MINI.replace("table 0.2", "table // x\n 0.2"))
+        assert net.num_variables == 2
+
+    def test_flat_table_conditional(self):
+        text = MINI.replace(
+            "(yes) 0.1, 0.2, 0.7;\n  (no) 0.3, 0.3, 0.4;",
+            "table 0.1, 0.2, 0.7, 0.3, 0.3, 0.4;",
+        )
+        net = io_bif.loads(text)
+        assert net.cpt("b").prob("lo", {"a": "no"}) == pytest.approx(0.3)
+
+    def test_default_row(self):
+        text = MINI.replace(
+            "(yes) 0.1, 0.2, 0.7;\n  (no) 0.3, 0.3, 0.4;",
+            "default 0.3, 0.3, 0.4;\n  (yes) 0.1, 0.2, 0.7;",
+        )
+        net = io_bif.loads(text)
+        assert net.cpt("b").prob("lo", {"a": "no"}) == pytest.approx(0.3)
+        assert net.cpt("b").prob("hi", {"a": "yes"}) == pytest.approx(0.7)
+
+    def test_state_count_mismatch(self):
+        with pytest.raises(ParseError, match="declares"):
+            io_bif.loads(MINI.replace("[ 2 ]", "[ 3 ]"))
+
+    def test_wrong_row_length(self):
+        with pytest.raises(ParseError, match="values"):
+            io_bif.loads(MINI.replace("(yes) 0.1, 0.2, 0.7;", "(yes) 0.1, 0.9;"))
+
+    def test_missing_parent_config(self):
+        with pytest.raises(ParseError, match="undefined"):
+            io_bif.loads(MINI.replace("(no) 0.3, 0.3, 0.4;", ""))
+
+    def test_unknown_variable_in_probability(self):
+        with pytest.raises(ParseError, match="unknown variable"):
+            io_bif.loads(MINI.replace("probability ( a )", "probability ( zz )"))
+
+    def test_duplicate_variable(self):
+        dup = MINI + "\nvariable a {\n  type discrete [ 2 ] { yes, no };\n}\n"
+        with pytest.raises(ParseError, match="duplicate"):
+            io_bif.loads(dup)
+
+    def test_error_reports_line(self):
+        try:
+            io_bif.loads("variable ! {")
+        except ParseError as exc:
+            assert "line 1" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_truncated_file(self):
+        with pytest.raises(ParseError, match="end of file"):
+            io_bif.loads("variable a {")
+
+
+class TestRoundTrip:
+    def test_mini_roundtrip(self):
+        net = io_bif.loads(MINI)
+        again = io_bif.loads(io_bif.dumps(net))
+        assert again.variable_names == net.variable_names
+        for v in net.variables:
+            assert np.allclose(again.cpt(v.name).table, net.cpt(v.name).table)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_network_roundtrip(self, seed):
+        net = random_network(12, state_dist=3, avg_parents=1.5, rng=seed)
+        again = io_bif.loads(io_bif.dumps(net))
+        assert again.variable_names == net.variable_names
+        for v in net.variables:
+            orig, back = net.cpt(v.name), again.cpt(v.name)
+            assert [p.name for p in back.parents] == [p.name for p in orig.parents]
+            assert np.allclose(back.table, orig.table, atol=1e-15)
+
+    def test_file_roundtrip(self, tmp_path, asia):
+        path = tmp_path / "asia.bif"
+        io_bif.dump(asia, path)
+        again = io_bif.load(path)
+        assert again.num_variables == asia.num_variables

@@ -1,0 +1,87 @@
+"""Tests for the Hugin .net format reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.bn import io_bif, io_net
+from repro.bn.generators import random_network
+from repro.errors import ParseError
+
+MINI = """
+net demo
+{
+}
+node a
+{
+  states = ( "yes" "no" );
+}
+node b
+{
+  states = ( "lo" "mid" "hi" );
+}
+potential ( a )
+{
+  data = ( 0.2 0.8 );
+}
+potential ( b | a )
+{
+  data = (( 0.1 0.2 0.7 ) ( 0.3 0.3 0.4 ));
+}
+"""
+
+
+class TestParse:
+    def test_mini(self):
+        net = io_net.loads(MINI)
+        assert net.name == "demo"
+        assert net.cpt("b").prob("hi", {"a": "yes"}) == pytest.approx(0.7)
+
+    def test_comments(self):
+        net = io_net.loads(MINI.replace("data = ( 0.2 0.8 );",
+                                        "data = ( 0.2 0.8 );  % prior"))
+        assert net.num_variables == 2
+
+    def test_unknown_fields_skipped(self):
+        text = MINI.replace('states = ( "yes" "no" );',
+                            'label = "variable A";\n  states = ( "yes" "no" );')
+        assert io_net.loads(text).num_variables == 2
+
+    def test_wrong_data_count(self):
+        with pytest.raises(ParseError, match="values"):
+            io_net.loads(MINI.replace("( 0.3 0.3 0.4 )", "( 0.3 0.7 )"))
+
+    def test_missing_states(self):
+        bad = MINI.replace('states = ( "yes" "no" );', "")
+        with pytest.raises(ParseError, match="states"):
+            io_net.loads(bad)
+
+    def test_missing_data(self):
+        bad = MINI.replace("data = ( 0.2 0.8 );", "")
+        with pytest.raises(ParseError, match="data"):
+            io_net.loads(bad)
+
+    def test_unknown_node_in_potential(self):
+        with pytest.raises(ParseError, match="unknown node"):
+            io_net.loads(MINI.replace("potential ( a )", "potential ( zz )"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_roundtrip(self, seed):
+        net = random_network(10, state_dist=3, avg_parents=1.4, rng=seed)
+        again = io_net.loads(io_net.dumps(net))
+        assert again.variable_names == net.variable_names
+        for v in net.variables:
+            assert np.allclose(again.cpt(v.name).table, net.cpt(v.name).table)
+
+    def test_cross_format_equivalence(self, asia):
+        """BIF and NET serialisations of the same net parse identically."""
+        via_net = io_net.loads(io_net.dumps(asia))
+        via_bif = io_bif.loads(io_bif.dumps(asia))
+        for v in asia.variables:
+            assert np.allclose(via_net.cpt(v.name).table, via_bif.cpt(v.name).table)
+
+    def test_file_roundtrip(self, tmp_path, sprinkler):
+        path = tmp_path / "sprinkler.net"
+        io_net.dump(sprinkler, path)
+        assert io_net.load(path).num_variables == 4

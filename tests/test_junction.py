@@ -1,0 +1,68 @@
+"""Tests for the junction-tree skeleton (spanning tree + RIP)."""
+
+import pytest
+
+from repro.bn.generators import random_network
+from repro.errors import JunctionTreeError
+from repro.graph.cliques import elimination_cliques
+from repro.graph.junction import JunctionTreeSkeleton, build_junction_tree
+from repro.graph.moralize import moralize
+from repro.graph.triangulate import triangulate
+
+
+def cliques_of(net):
+    return elimination_cliques(triangulate(moralize(net)).elimination_cliques)
+
+
+class TestBuild:
+    def test_tree_has_n_minus_one_edges(self, asia):
+        skel = build_junction_tree(cliques_of(asia))
+        assert len(skel.edges) == skel.num_cliques - 1
+
+    def test_separators_are_intersections(self, asia):
+        skel = build_junction_tree(cliques_of(asia))
+        for i, j, sep in skel.edges:
+            assert sep == skel.cliques[i] & skel.cliques[j]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rip_on_random_networks(self, seed):
+        net = random_network(30, avg_parents=1.7, max_in_degree=3, window=7, rng=seed)
+        skel = build_junction_tree(cliques_of(net))
+        skel.validate_rip()  # raises on violation
+
+    def test_single_clique(self):
+        skel = build_junction_tree([frozenset(["a", "b"])])
+        assert skel.num_cliques == 1
+        assert skel.edges == ()
+
+    def test_zero_cliques_rejected(self):
+        with pytest.raises(JunctionTreeError):
+            build_junction_tree([])
+
+    def test_disconnected_components_joined(self):
+        # Two unrelated cliques: forest joined with an empty separator.
+        skel = build_junction_tree([frozenset(["a", "b"]), frozenset(["c", "d"])])
+        assert len(skel.edges) == 1
+        assert skel.edges[0][2] == frozenset()
+
+    def test_deterministic(self, asia):
+        s1 = build_junction_tree(cliques_of(asia))
+        s2 = build_junction_tree(cliques_of(asia))
+        assert s1.edges == s2.edges
+
+
+class TestRIPValidation:
+    def test_bad_tree_detected(self):
+        # b appears in cliques 0 and 2, but the connecting edge misses it.
+        skel = JunctionTreeSkeleton(
+            cliques=(frozenset(["a", "b"]), frozenset(["a", "c"]), frozenset(["b", "c"])),
+            edges=((0, 1, frozenset(["a"])), (1, 2, frozenset(["c"]))),
+        )
+        with pytest.raises(JunctionTreeError, match="running-intersection"):
+            skel.validate_rip()
+
+    def test_neighbors_symmetric(self, asia):
+        skel = build_junction_tree(cliques_of(asia))
+        nbrs = skel.neighbors()
+        for i, j, _ in skel.edges:
+            assert j in nbrs[i] and i in nbrs[j]

@@ -1,0 +1,126 @@
+"""Tests for BFS layering and root selection (paper §2 structures)."""
+
+import pytest
+
+from repro.bn.generators import chain_network, random_network, star_network
+from repro.jt.layers import compute_layers
+from repro.jt.root import (
+    best_root_bruteforce,
+    eccentricities,
+    select_root,
+    tree_center,
+)
+from repro.jt.structure import compile_junction_tree
+
+
+class TestLayers:
+    def test_layers_partition_cliques(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        seen = [c for layer in schedule.clique_layers for c in layer]
+        assert sorted(seen) == list(range(tree.num_cliques))
+
+    def test_layers_partition_separators(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        seen = [s for layer in schedule.separator_layers for s in layer]
+        assert sorted(seen) == list(range(tree.num_separators))
+
+    def test_layer_matches_depth(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        for d, layer in enumerate(schedule.clique_layers):
+            for cid in layer:
+                assert tree.depth[cid] == d
+
+    def test_num_layers_counts_both_kinds(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        assert schedule.num_layers == len(schedule.clique_layers) + len(
+            schedule.separator_layers)
+        assert schedule.num_layers == 2 * tree.height() + 1
+
+    def test_collect_layers_deepest_first(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        passes = schedule.collect_layers()
+        depths = [tree.depth[cliques[0]] for cliques, _ in passes]
+        assert depths == sorted(depths, reverse=True)
+        # root layer excluded
+        assert all(tree.root not in cliques for cliques, _ in passes)
+
+    def test_distribute_layers_shallowest_first(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        passes = schedule.distribute_layers()
+        depths = [tree.depth[cliques[0]] for cliques, _ in passes]
+        assert depths == sorted(depths)
+
+    def test_collect_covers_every_nonroot_clique(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree)
+        seen = [c for cliques, _ in schedule.collect_layers() for c in cliques]
+        assert sorted(seen) == sorted(set(range(tree.num_cliques)) - {tree.root})
+
+    def test_single_clique_tree(self):
+        net = chain_network(2, rng=0)
+        tree = compile_junction_tree(net)
+        schedule = compute_layers(tree)
+        assert schedule.num_layers == 1
+        assert schedule.collect_layers() == []
+        assert schedule.distribute_layers() == []
+
+    def test_compute_layers_with_explicit_root(self, asia):
+        tree = compile_junction_tree(asia)
+        schedule = compute_layers(tree, root=1 % tree.num_cliques)
+        assert schedule.root == tree.root
+
+
+class TestRootSelection:
+    def test_center_is_optimal_on_chain(self):
+        net = chain_network(21, rng=0)  # 20 cliques in a path
+        tree = compile_junction_tree(net)
+        center = tree_center(tree)
+        ecc = eccentricities(tree)
+        assert ecc[center] == min(ecc)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_center_matches_bruteforce(self, seed):
+        net = random_network(30, avg_parents=1.5, max_in_degree=3, window=6, rng=seed)
+        tree = compile_junction_tree(net)
+        center = tree_center(tree)
+        ecc = eccentricities(tree)
+        assert ecc[center] == ecc[best_root_bruteforce(tree)]
+
+    def test_center_strategy_never_worse_than_first(self, asia):
+        tree = compile_junction_tree(asia)
+        select_root(tree, "first")
+        h_first = tree.height()
+        select_root(tree, "center")
+        assert tree.height() <= h_first
+
+    def test_center_halves_chain_layers(self):
+        net = chain_network(41, rng=0)
+        tree = compile_junction_tree(net)
+        select_root(tree, "first")
+        h_first = tree.height()
+        select_root(tree, "center")
+        assert tree.height() <= h_first // 2 + 1
+
+    def test_star_already_optimal(self):
+        net = star_network(10, rng=0)
+        tree = compile_junction_tree(net)
+        select_root(tree, "center")
+        assert tree.height() <= 2
+
+    def test_strategies(self, asia):
+        tree = compile_junction_tree(asia)
+        assert select_root(tree, "first") == 0
+        r = select_root(tree, "max-size")
+        assert tree.cliques[r].size == max(c.size for c in tree.cliques)
+        select_root(tree, "center")
+
+    def test_unknown_strategy(self, asia):
+        tree = compile_junction_tree(asia)
+        with pytest.raises(ValueError):
+            select_root(tree, "bogus")

@@ -1,0 +1,90 @@
+"""Final coverage round: microbench smoke, combined evidence forms,
+batched hybrid inference, report rendering edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.enumeration import EnumerationEngine
+from repro.bench.microbench import bench_extension, bench_marginalize, make_domain
+from repro.bn.sampling import generate_test_cases
+from repro.core import FastBNI
+
+
+class TestMicrobenchHarness:
+    def test_make_domain_shapes(self):
+        src, dst = make_domain(4, 3)
+        assert src.size == 81
+        assert dst.size == 9
+        assert set(dst.names) <= set(src.names)
+
+    def test_bench_marginalize_returns_all_impls(self):
+        r = bench_marginalize(3, 3, num_workers=2, repeats=1)
+        assert {"size", "python-loop", "vectorised"} <= set(r)
+        assert all(v > 0 for v in r.values())
+
+    def test_bench_extension_returns_all_impls(self):
+        r = bench_extension(3, 3, num_workers=2, repeats=1)
+        assert r["python-loop"] > 0 and r["vectorised"] > 0
+
+
+class TestCombinedEvidence:
+    def test_hard_plus_soft(self, asia):
+        """Hard and soft evidence compose multiplicatively."""
+        like = np.array([0.6, 0.1])
+        with FastBNI(asia, mode="seq") as engine:
+            got = engine.infer({"smoke": "yes"}, soft_evidence={"xray": like})
+        # Oracle: reduce joint on smoke, weight by likelihood on xray.
+        en = EnumerationEngine(asia)
+        from repro.potential.ops import marginalize, reduce_evidence_inplace
+
+        work = en.joint.copy()
+        reduce_evidence_inplace(work, {"smoke": "yes"})
+        xray_axis_vals = like[
+            np.array([en.domain.unflatten(i)["xray"] for i in range(en.domain.size)])
+        ]
+        work.values *= xray_axis_vals
+        m = marginalize(work, ("lung",))
+        expected = m.values / m.values.sum()
+        assert np.allclose(got.posteriors["lung"], expected, atol=1e-10)
+
+    def test_soft_evidence_on_parallel_engine(self, asia):
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as par, \
+                FastBNI(asia, mode="seq") as seq:
+            soft = {"dysp": [0.9, 0.3]}
+            a = par.infer(soft_evidence=soft)
+            b = seq.infer(soft_evidence=soft)
+        for name in asia.variable_names:
+            assert np.allclose(a.posteriors[name], b.posteriors[name], atol=1e-10)
+
+
+class TestBatchedHybrid:
+    def test_hybrid_batch_matches_seq_batch(self, asia):
+        cases = generate_test_cases(asia, 4, 0.25, rng=8)
+        with FastBNI(asia, mode="hybrid", backend="thread", num_workers=2) as h, \
+                FastBNI(asia, mode="seq") as s:
+            hb = h.infer_batch(cases, case_workers=2)
+            sb = s.infer_batch(cases)
+        for a, b in zip(hb, sb):
+            for name in asia.variable_names:
+                assert np.allclose(a.posteriors[name], b.posteriors[name], atol=1e-9)
+
+    def test_batch_respects_targets(self, asia):
+        cases = generate_test_cases(asia, 2, 0.25, rng=9)
+        with FastBNI(asia, mode="seq") as engine:
+            results = engine.infer_batch(cases, targets=("lung",))
+        assert all(set(r.posteriors) == {"lung"} for r in results)
+
+
+class TestReportEdgeCases:
+    def test_format_table_empty_rows(self):
+        from repro.bench.report import format_table
+
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_render_rows_without_best_t(self):
+        from repro.bench.table1 import Table1Row, render_rows
+
+        row = Table1Row(network="n", unbbayes=1, fastbni_seq=1, direct=1,
+                        primitive=1, element=1, fastbni_par=1)
+        assert "n" in render_rows([row])

@@ -1,0 +1,134 @@
+"""Tests for max-product operations and MPE queries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bn.generators import random_network
+from repro.bn.sampling import generate_test_cases
+from repro.bn.variable import Variable
+from repro.errors import EvidenceError, PotentialError
+from repro.jt.mpe import MPEEngine, most_probable_explanation, mpe_bruteforce
+from repro.jt.structure import compile_junction_tree
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.maxops import (
+    max_marginalize,
+    max_marginalize_argmax,
+    max_marginalize_argmax_vec,
+    restrict,
+)
+
+A = Variable.binary("a")
+B = Variable.with_arity("b", 3)
+C = Variable.with_arity("c", 2)
+
+
+def rand_pot(variables, seed=0):
+    d = Domain(variables)
+    return Potential(d, np.random.default_rng(seed).random(d.size))
+
+
+class TestMaxOps:
+    @pytest.mark.parametrize("method", ["ndview", "indexmap"])
+    def test_max_marginalize_matches_nd(self, method):
+        p = rand_pot((A, B, C), 1)
+        m = max_marginalize(p, ("a", "c"), method=method)
+        assert np.allclose(m.nd(), p.nd().max(axis=1))
+
+    def test_max_leq_sum(self):
+        p = rand_pot((A, B), 2)
+        mx = max_marginalize(p, ("a",))
+        from repro.potential.ops import marginalize
+
+        sm = marginalize(p, ("a",))
+        assert np.all(mx.values <= sm.values + 1e-15)
+
+    def test_argmax_consistency(self):
+        p = rand_pot((A, B, C), 3)
+        m, arg = max_marginalize_argmax(p, ("b",))
+        for s in range(m.size):
+            assert p.values[arg[s]] == pytest.approx(m.values[s])
+            # the argmax entry must actually map to group s
+            assert p.domain.unflatten(int(arg[s]))["b"] == s
+
+    def test_vectorised_argmax_matches_loop(self):
+        for seed in range(5):
+            p = rand_pot((A, B, C), seed)
+            m1, a1 = max_marginalize_argmax(p, ("a", "c"))
+            m2, a2 = max_marginalize_argmax_vec(p, ("a", "c"))
+            assert m1.allclose(m2)
+            assert np.array_equal(a1, a2)
+
+    def test_argmax_tie_breaks_to_smallest(self):
+        d = Domain((A, B))
+        p = Potential(d, np.ones(6))
+        _, arg = max_marginalize_argmax_vec(p, ("b",))
+        assert np.array_equal(arg, [0, 1, 2])
+
+    def test_restrict_slices(self):
+        p = rand_pot((A, B, C), 4)
+        r = restrict(p, {"b": 2})
+        assert r.domain.names == ("a", "c")
+        assert np.allclose(r.nd(), p.nd()[:, 2, :])
+
+    def test_restrict_unknown_var(self):
+        p = rand_pot((A,), 5)
+        with pytest.raises(PotentialError):
+            restrict(p, {"zz": 0})
+
+
+class TestMPE:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce_random_nets(self, seed):
+        net = random_network(9, state_dist=3, avg_parents=1.4, max_in_degree=3,
+                             window=4, rng=seed, concentration=0.7)
+        tree = compile_junction_tree(net)
+        for case in generate_test_cases(net, 3, 0.3, rng=seed):
+            got_assign, got_lp = most_probable_explanation(tree, case.evidence)
+            want_assign, want_lp = mpe_bruteforce(net, case.evidence)
+            assert got_lp == pytest.approx(want_lp, abs=1e-9)
+            # The assignment's own joint probability must equal the optimum
+            # (distinct argmax ties are acceptable).
+            assert net.log_joint(got_assign) == pytest.approx(want_lp, abs=1e-9)
+
+    def test_respects_evidence(self, asia):
+        tree = compile_junction_tree(asia)
+        ev = {"smoke": "yes", "xray": "yes"}
+        assign, _ = most_probable_explanation(tree, ev)
+        for name, s in ev.items():
+            assert assign[name] == asia.variable(name).state_index(s)
+
+    def test_covers_all_variables(self, asia):
+        tree = compile_junction_tree(asia)
+        assign, _ = most_probable_explanation(tree)
+        assert set(assign) == set(asia.variable_names)
+
+    def test_no_evidence_is_global_mode(self, sprinkler):
+        tree = compile_junction_tree(sprinkler)
+        got_assign, got_lp = most_probable_explanation(tree)
+        want_assign, want_lp = mpe_bruteforce(sprinkler)
+        assert got_lp == pytest.approx(want_lp)
+        assert sprinkler.log_joint(got_assign) == pytest.approx(want_lp)
+
+    def test_impossible_evidence(self, asia):
+        tree = compile_junction_tree(asia)
+        with pytest.raises(EvidenceError):
+            most_probable_explanation(tree, {"lung": "yes", "either": "no"})
+
+    def test_engine_wrapper(self, asia):
+        engine = MPEEngine(asia)
+        assign, lp = engine.query({"dysp": "yes"})
+        assert math.isfinite(lp)
+        assert assign["dysp"] == asia.variable("dysp").state_index("yes")
+
+    def test_mpe_prob_leq_evidence_prob(self, asia):
+        """max_x P(x, e) <= P(e)."""
+        from repro.core import FastBNI
+
+        tree = compile_junction_tree(asia)
+        ev = {"dysp": "yes"}
+        _, mpe_lp = most_probable_explanation(tree, ev)
+        with FastBNI(asia, mode="seq") as engine:
+            assert mpe_lp <= engine.infer(ev).log_evidence + 1e-12

@@ -1,0 +1,136 @@
+"""Unit tests for repro.bn.network."""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpt import CPT
+from repro.bn.network import BayesianNetwork
+from repro.bn.variable import Variable
+from repro.errors import NetworkError
+
+
+def two_node_net():
+    a = Variable.binary("a")
+    b = Variable.binary("b")
+    net = BayesianNetwork("tiny")
+    net.add_variable(a)
+    net.add_variable(b)
+    net.add_cpt(CPT(a, (), np.array([0.4, 0.6])))
+    net.add_cpt(CPT(b, (a,), np.array([[0.9, 0.1], [0.2, 0.8]])))
+    return net.validate()
+
+
+class TestBuild:
+    def test_roundtrip_structure(self):
+        net = two_node_net()
+        assert net.num_variables == 2
+        assert net.num_edges == 1
+        assert list(net.edges()) == [("a", "b")]
+
+    def test_readd_identical_variable_ok(self):
+        net = BayesianNetwork()
+        v = Variable.binary("x")
+        assert net.add_variable(v) is net.add_variable(Variable.binary("x"))
+
+    def test_conflicting_variable_rejected(self):
+        net = BayesianNetwork()
+        net.add_variable(Variable.binary("x"))
+        with pytest.raises(NetworkError, match="different states"):
+            net.add_variable(Variable.with_arity("x", 3))
+
+    def test_cpt_with_unknown_variable_rejected(self):
+        net = BayesianNetwork()
+        with pytest.raises(NetworkError, match="unknown variable"):
+            net.add_cpt(CPT(Variable.binary("x"), (), np.array([0.5, 0.5])))
+
+    def test_duplicate_cpt_rejected(self):
+        net = BayesianNetwork()
+        v = net.add_variable(Variable.binary("x"))
+        net.add_cpt(CPT(v, (), np.array([0.5, 0.5])))
+        with pytest.raises(NetworkError, match="duplicate CPT"):
+            net.add_cpt(CPT(v, (), np.array([0.5, 0.5])))
+
+    def test_missing_cpt_fails_validation(self):
+        net = BayesianNetwork()
+        net.add_variable(Variable.binary("x"))
+        with pytest.raises(NetworkError, match="without CPTs"):
+            net.validate()
+
+    def test_from_cpts(self):
+        a, b = Variable.binary("a"), Variable.binary("b")
+        net = BayesianNetwork.from_cpts([
+            CPT(a, (), np.array([0.5, 0.5])),
+            CPT(b, (a,), np.full((2, 2), 0.5)),
+        ])
+        assert net.num_variables == 2
+
+
+class TestTopology:
+    def test_topological_order(self, asia):
+        order = [v.name for v in asia.topological_order()]
+        pos = {n: i for i, n in enumerate(order)}
+        for parent, child in asia.edges():
+            assert pos[parent] < pos[child]
+
+    def test_cycle_detected(self):
+        a, b = Variable.binary("a"), Variable.binary("b")
+        net = BayesianNetwork()
+        net.add_variable(a)
+        net.add_variable(b)
+        net.add_cpt(CPT(a, (b,), np.full((2, 2), 0.5)))
+        net.add_cpt(CPT(b, (a,), np.full((2, 2), 0.5)))
+        with pytest.raises(NetworkError, match="cycle"):
+            net.topological_order()
+
+    def test_children(self, asia):
+        kids = {v.name for v in asia.children("smoke")}
+        assert kids == {"lung", "bronc"}
+
+    def test_parents(self, asia):
+        assert {p.name for p in asia.parents("dysp")} == {"bronc", "either"}
+
+
+class TestSemantics:
+    def test_joint_probability(self):
+        net = two_node_net()
+        # P(a=no, b=no) = 0.4 * 0.9
+        assert net.joint_probability({"a": "no", "b": "no"}) == pytest.approx(0.36)
+
+    def test_joint_sums_to_one(self):
+        net = two_node_net()
+        total = sum(
+            net.joint_probability({"a": sa, "b": sb})
+            for sa in ("no", "yes") for sb in ("no", "yes")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_log_joint_zero_prob(self):
+        a = Variable.binary("a")
+        net = BayesianNetwork()
+        net.add_variable(a)
+        net.add_cpt(CPT(a, (), np.array([1.0, 0.0])))
+        assert net.log_joint({"a": "yes"}) == -np.inf
+
+    def test_incomplete_assignment_rejected(self):
+        net = two_node_net()
+        with pytest.raises(NetworkError, match="cover all"):
+            net.log_joint({"a": "no"})
+
+
+class TestStats:
+    def test_summary_mentions_counts(self, asia):
+        s = asia.summary()
+        assert "8 nodes" in s and "8 edges" in s
+
+    def test_total_cpt_entries(self):
+        net = two_node_net()
+        assert net.total_cpt_entries() == 2 + 4
+
+    def test_max_in_degree(self, asia):
+        assert asia.max_in_degree() == 2
+
+    def test_container_protocol(self, asia):
+        assert "smoke" in asia
+        assert "nothere" not in asia
+        assert len(asia) == 8
+        assert len(list(iter(asia))) == 8

@@ -1,0 +1,223 @@
+"""Unit tests for the potential operations (both implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.bn.variable import Variable
+from repro.errors import PotentialError
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.ops import (
+    divide,
+    divide_into,
+    extend,
+    marginalize,
+    multiply,
+    multiply_into,
+    normalize,
+    reduce_evidence,
+    reduce_evidence_inplace,
+)
+
+A = Variable.binary("a")
+B = Variable.with_arity("b", 3)
+C = Variable.with_arity("c", 2)
+
+METHODS = ("ndview", "indexmap")
+
+
+def rand_pot(variables, seed=0):
+    d = Domain(variables)
+    return Potential(d, np.random.default_rng(seed).random(d.size) + 0.1)
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_values_match_manual(self, method):
+        pa, pb = rand_pot((A, B), 1), rand_pot((B, C), 2)
+        prod = multiply(pa, pb, method=method)
+        assert prod.domain.names == ("a", "b", "c")
+        for assign in prod.domain.assignments():
+            expected = pa.value({k: assign[k] for k in ("a", "b")}) * \
+                pb.value({k: assign[k] for k in ("b", "c")})
+            assert prod.value(assign) == pytest.approx(expected)
+
+    def test_methods_agree(self):
+        pa, pb = rand_pot((A, B), 1), rand_pot((C, B), 2)
+        assert multiply(pa, pb, "ndview").allclose(multiply(pa, pb, "indexmap"))
+
+    def test_disjoint_scopes(self):
+        pa, pc = rand_pot((A,), 1), rand_pot((C,), 2)
+        prod = multiply(pa, pc)
+        assert prod.total() == pytest.approx(pa.total() * pc.total())
+
+    def test_with_scalar_potential(self):
+        pa = rand_pot((A,), 1)
+        scalar = Potential(Domain(()), np.array([2.0]))
+        prod = multiply(pa, scalar)
+        assert np.allclose(prod.values, pa.values * 2)
+
+    def test_multiply_into_requires_containment(self):
+        pa, pbc = rand_pot((A,), 1), rand_pot((B, C), 2)
+        with pytest.raises(PotentialError):
+            multiply_into(pa, pbc)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_multiply_into_matches_multiply(self, method):
+        big, small = rand_pot((A, B, C), 3), rand_pot((B,), 4)
+        expected = multiply(big, small)
+        target = big.copy()
+        multiply_into(target, small, method=method)
+        assert target.allclose(expected)
+
+    def test_unknown_method(self):
+        with pytest.raises(PotentialError):
+            multiply(rand_pot((A,)), rand_pot((A,)), method="magic")
+
+
+class TestDivide:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_divide_then_multiply_roundtrip(self, method):
+        big, sep = rand_pot((A, B), 1), rand_pot((B,), 2)
+        quot = divide(big, sep, method=method)
+        back = multiply(quot, sep)
+        assert back.same_distribution(big)
+
+    def test_zero_over_zero_is_zero(self):
+        num = Potential(Domain((A,)), np.array([0.0, 1.0]))
+        den = Potential(Domain((A,)), np.array([0.0, 2.0]))
+        q = divide(num, den)
+        assert q.values[0] == 0.0
+        assert q.values[1] == pytest.approx(0.5)
+
+    def test_scope_containment_required(self):
+        with pytest.raises(PotentialError):
+            divide(rand_pot((A,)), rand_pot((B,)))
+
+    def test_divide_into(self):
+        target = rand_pot((A, B), 1)
+        new = rand_pot((B,), 2)
+        old = rand_pot((B,), 3)
+        expected = multiply(target, divide(new, old))
+        got = target.copy()
+        divide_into(got, new, old)
+        assert got.allclose(expected)
+
+    def test_divide_into_domain_mismatch(self):
+        with pytest.raises(PotentialError):
+            divide_into(rand_pot((A, B)), rand_pot((B,)), rand_pot((A,)))
+
+
+class TestMarginalize:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_mass_preserved(self, method):
+        p = rand_pot((A, B, C), 5)
+        m = marginalize(p, ("b",), method=method)
+        assert m.total() == pytest.approx(p.total())
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_values_match_manual(self, method):
+        p = rand_pot((A, B), 6)
+        m = marginalize(p, ("a",), method=method)
+        nd = p.nd()
+        assert np.allclose(m.values, nd.sum(axis=1))
+
+    def test_keep_all_is_copy(self):
+        p = rand_pot((A, B), 7)
+        m = marginalize(p, ("a", "b"))
+        assert m.allclose(p)
+        m.values[0] = -1
+        assert p.values[0] != -1  # independent copy
+
+    def test_marginalize_to_scalar(self):
+        p = rand_pot((A, B), 8)
+        m = marginalize(p, ())
+        assert m.domain.size == 1
+        assert m.values[0] == pytest.approx(p.total())
+
+    def test_order_of_keep_is_domain_order(self):
+        p = rand_pot((A, B, C), 9)
+        m = marginalize(p, ("c", "a"))
+        assert m.domain.names == ("a", "c")
+
+
+class TestExtend:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_extension_replicates(self, method):
+        sep = rand_pot((B,), 1)
+        target = Domain((A, B, C))
+        ext = extend(sep, target, method=method)
+        for assign in target.assignments():
+            assert ext.value(assign) == pytest.approx(sep.value({"b": assign["b"]}))
+
+    def test_extend_scalar(self):
+        scalar = Potential(Domain(()), np.array([3.0]))
+        ext = extend(scalar, Domain((A,)))
+        assert np.allclose(ext.values, 3.0)
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(PotentialError):
+            extend(rand_pot((B,)), Domain((A, C)))
+
+    def test_marginalize_extend_adjoint(self):
+        """<marg(f), g> == <f, extend(g)> for f over (A,B), g over (B)."""
+        f = rand_pot((A, B), 2)
+        g = rand_pot((B,), 3)
+        lhs = float(marginalize(f, ("b",)).values @ g.values)
+        rhs = float(f.values @ extend(g, f.domain).values)
+        assert lhs == pytest.approx(rhs)
+
+
+class TestReduce:
+    def test_zero_mode_keeps_shape(self):
+        p = rand_pot((A, B), 1)
+        r = reduce_evidence(p, {"a": 1})
+        assert r.domain == p.domain
+        assert np.all(r.nd()[0, :] == 0)
+        assert np.allclose(r.nd()[1, :], p.nd()[1, :])
+
+    def test_slice_mode_drops_vars(self):
+        p = rand_pot((A, B), 2)
+        r = reduce_evidence(p, {"a": "yes"}, mode="slice")
+        assert r.domain.names == ("b",)
+        assert np.allclose(r.values, p.nd()[1, :])
+
+    def test_modes_agree_on_mass(self):
+        p = rand_pot((A, B, C), 3)
+        ev = {"b": 2}
+        assert reduce_evidence(p, ev).total() == pytest.approx(
+            reduce_evidence(p, ev, mode="slice").total())
+
+    def test_irrelevant_evidence_ignored(self):
+        p = rand_pot((A,), 4)
+        r = reduce_evidence(p, {"b": 0})
+        assert r.allclose(p)
+
+    def test_state_labels_accepted(self):
+        p = rand_pot((A,), 5)
+        r = reduce_evidence(p, {"a": "no"})
+        assert r.values[1] == 0.0
+
+    def test_inplace_matches_pure(self):
+        p = rand_pot((A, B), 6)
+        expected = reduce_evidence(p, {"a": 0})
+        reduce_evidence_inplace(p, {"a": 0})
+        assert p.allclose(expected)
+
+    def test_unknown_mode(self):
+        with pytest.raises(PotentialError):
+            reduce_evidence(rand_pot((A,)), {"a": 0}, mode="chop")
+
+
+class TestNormalize:
+    def test_normalize_in_place(self):
+        p = rand_pot((A, B), 1)
+        before = p.total()
+        const = normalize(p)
+        assert const == pytest.approx(before)
+        assert p.total() == pytest.approx(1.0)
+
+    def test_zero_table_rejected(self):
+        p = Potential.zeros((A,))
+        with pytest.raises(PotentialError):
+            normalize(p)

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the potential algebra.
+
+These are the invariants the whole junction-tree stack rests on; each is
+checked for both op implementations on randomly-shaped potentials.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bn.variable import Variable
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+from repro.potential.ops import divide, extend, marginalize, multiply
+
+VARS = [Variable.with_arity(f"x{i}", c) for i, c in enumerate([2, 3, 2, 4, 2])]
+
+
+@st.composite
+def potential(draw, pool=tuple(range(len(VARS))), min_vars=1, max_vars=3):
+    k = draw(st.integers(min_vars, min(max_vars, len(pool))))
+    idx = sorted(draw(st.permutations(pool))[:k])
+    dom = Domain(tuple(VARS[i] for i in idx))
+    seed = draw(st.integers(0, 2**31 - 1))
+    vals = np.random.default_rng(seed).random(dom.size) + 1e-3
+    return Potential(dom, vals)
+
+
+@st.composite
+def nested_pair(draw):
+    """(big potential, sub-potential over a subset of its variables)."""
+    big = draw(potential(min_vars=2, max_vars=4))
+    names = list(big.domain.names)
+    k = draw(st.integers(1, len(names)))
+    keep = sorted(draw(st.permutations(range(len(names))))[:k])
+    sub_dom = big.domain.subset(tuple(names[i] for i in keep))
+    seed = draw(st.integers(0, 2**31 - 1))
+    vals = np.random.default_rng(seed).random(sub_dom.size) + 1e-3
+    return big, Potential(sub_dom, vals)
+
+
+class TestAlgebraProperties:
+    @given(potential(), potential())
+    @settings(max_examples=60, deadline=None)
+    def test_multiply_commutative_as_distribution(self, p, q):
+        assert multiply(p, q).same_distribution(multiply(q, p), rtol=1e-9)
+
+    @given(potential(), potential(), potential())
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_associative(self, p, q, r):
+        left = multiply(multiply(p, q), r)
+        right = multiply(p, multiply(q, r))
+        assert left.same_distribution(right, rtol=1e-9)
+
+    @given(potential())
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_identity(self, p):
+        ones = Potential(p.domain)
+        assert multiply(p, ones).allclose(p)
+
+    @given(potential(), potential())
+    @settings(max_examples=60, deadline=None)
+    def test_methods_agree_on_multiply(self, p, q):
+        assert multiply(p, q, "ndview").allclose(multiply(p, q, "indexmap"))
+
+    @given(nested_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_methods_agree_on_marginalize(self, pair):
+        big, sub = pair
+        keep = sub.domain.names
+        assert marginalize(big, keep, "ndview").allclose(
+            marginalize(big, keep, "indexmap"))
+
+    @given(nested_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_methods_agree_on_extend(self, pair):
+        big, sub = pair
+        assert extend(sub, big.domain, "ndview").allclose(
+            extend(sub, big.domain, "indexmap"))
+
+
+class TestMarginalizationConsistency:
+    @given(potential(min_vars=2, max_vars=4))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_out_order_irrelevant(self, p):
+        """Marginalising variables one at a time = all at once."""
+        names = list(p.domain.names)
+        target = names[: len(names) // 2] or names[:1]
+        direct = marginalize(p, tuple(target))
+        stepwise = p
+        for n in names:
+            if n not in target:
+                keep = tuple(m for m in stepwise.domain.names if m != n)
+                stepwise = marginalize(stepwise, keep)
+        assert direct.allclose(stepwise, rtol=1e-9)
+
+    @given(nested_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_extension_then_marginalization_scales(self, pair):
+        """marg(extend(g)) = g × (size ratio): extension is mass-uniform."""
+        big, sub = pair
+        ext = extend(sub, big.domain)
+        back = marginalize(ext, sub.domain.names)
+        factor = big.domain.size // sub.domain.size
+        assert np.allclose(back.values, sub.values * factor, rtol=1e-9)
+
+    @given(nested_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_multiply_then_marginalize_is_weighted_sum(self, pair):
+        """marg(big × extend(g), g's scope) == marg(big) × g."""
+        big, sub = pair
+        lhs = marginalize(multiply(big, sub), sub.domain.names)
+        rhs_vals = marginalize(big, sub.domain.names)
+        rhs = Potential(lhs.domain, rhs_vals.values * sub.values)
+        assert lhs.allclose(rhs, rtol=1e-8)
+
+
+class TestDivisionProperties:
+    @given(nested_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_divide_multiply_cancels(self, pair):
+        big, sub = pair
+        assert multiply(divide(big, sub), sub).same_distribution(big, rtol=1e-8)
+
+    @given(potential())
+    @settings(max_examples=40, deadline=None)
+    def test_self_division_is_uniform(self, p):
+        q = divide(p, p)
+        assert np.allclose(q.values, 1.0)

@@ -1,0 +1,185 @@
+"""Tests for the parallel runtime: chunking, shared memory, backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.parallel.backend import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.parallel.chunking import chunk_ranges, chunk_weighted
+from repro.parallel.sharedmem import ArrayRef, SharedArena
+
+
+class TestChunkRanges:
+    def test_covers_exactly(self):
+        chunks = chunk_ranges(100, 7)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    def test_near_equal_sizes(self):
+        sizes = [hi - lo for lo, hi in chunk_ranges(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_min_chunk_respected(self):
+        chunks = chunk_ranges(100, 50, min_chunk=30)
+        assert len(chunks) == 3
+        assert all(hi - lo >= 30 for lo, hi in chunks[:-1])
+
+    def test_small_table_single_chunk(self):
+        assert chunk_ranges(5, 8, min_chunk=10) == [(0, 5)]
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(BackendError):
+            chunk_ranges(10, 0)
+        with pytest.raises(BackendError):
+            chunk_ranges(-1, 2)
+
+
+class TestChunkWeighted:
+    def test_covers_all_items(self):
+        sizes = [10, 200, 3, 50]
+        groups = chunk_weighted(sizes, 4)
+        covered = {i: 0 for i in range(len(sizes))}
+        for group in groups:
+            for item, lo, hi in group:
+                covered[item] += hi - lo
+        assert covered == {i: s for i, s in enumerate(sizes)}
+
+    def test_groups_balanced(self):
+        sizes = [1000, 10, 10, 10, 1000]
+        groups = chunk_weighted(sizes, 4)
+        loads = [sum(hi - lo for _, lo, hi in g) for g in groups]
+        assert max(loads) <= 2 * (sum(sizes) // 4 + 1)
+
+    def test_large_item_split_across_groups(self):
+        groups = chunk_weighted([100], 4)
+        assert len(groups) == 4
+
+    def test_small_items_packed_together(self):
+        groups = chunk_weighted([1] * 20, 2)
+        assert len(groups) == 2
+
+    def test_empty_total(self):
+        assert chunk_weighted([0, 0], 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(BackendError):
+            chunk_weighted([1], 0)
+
+
+def _add(a, b):
+    return a + b
+
+
+def _write_ref(ref, lo, hi, value):
+    ref.resolve()[lo:hi] = value
+
+
+class TestBackends:
+    @pytest.mark.parametrize("kind", ["serial", "thread"])
+    def test_results_in_order(self, kind):
+        with make_backend(kind, 4) as be:
+            results = be.run_batch([(_add, (i, i)) for i in range(20)])
+        assert results == [2 * i for i in range(20)]
+
+    def test_serial_is_inline(self):
+        be = SerialBackend()
+        assert be.run_batch([(_add, (1, 2))]) == [3]
+        assert be.num_workers == 1
+
+    def test_thread_shares_memory(self):
+        arr = np.zeros(100)
+        ref = ArrayRef.wrap(arr)
+        with ThreadBackend(4) as be:
+            be.run_batch([(_write_ref, (ref, i * 25, (i + 1) * 25, float(i)))
+                          for i in range(4)])
+        assert np.all(arr[75:] == 3.0)
+
+    def test_process_backend_with_arena(self):
+        with SharedArena([100]) as arena, ProcessBackend(2) as be:
+            arena.view(0)[:] = 0.0
+            be.run_batch([(_write_ref, (arena.ref(0), i * 50, (i + 1) * 50, float(i + 1)))
+                          for i in range(2)])
+            assert np.all(arena.view(0)[:50] == 1.0)
+            assert np.all(arena.view(0)[50:] == 2.0)
+
+    def test_make_backend_default_workers(self):
+        be = make_backend("thread")
+        assert 1 <= be.num_workers <= 32
+        be.close()
+
+    def test_unknown_backend(self):
+        with pytest.raises(BackendError):
+            make_backend("gpu")
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(BackendError):
+            ThreadBackend(0)
+
+    def test_exception_propagates(self):
+        def boom():
+            raise ValueError("task failed")
+
+        with ThreadBackend(2) as be:
+            with pytest.raises(ValueError, match="task failed"):
+                be.run_batch([(boom, ()), (boom, ())])
+
+
+class TestArrayRef:
+    def test_wrap_resolve_roundtrip(self):
+        arr = np.arange(5.0)
+        assert np.array_equal(ArrayRef.wrap(arr).resolve(), arr)
+
+    def test_wrap_rejects_wrong_dtype(self):
+        with pytest.raises(BackendError):
+            ArrayRef.wrap(np.arange(5))  # int64
+
+    def test_direct_ref_not_picklable(self):
+        import pickle
+
+        with pytest.raises(BackendError):
+            pickle.dumps(ArrayRef.wrap(np.arange(5.0)))
+
+    def test_shm_ref_picklable(self):
+        import pickle
+
+        with SharedArena([10]) as arena:
+            ref = pickle.loads(pickle.dumps(arena.ref(0)))
+            arena.view(0)[:] = 7.0
+            assert np.all(ref.resolve() == 7.0)
+
+
+class TestSharedArena:
+    def test_views_are_disjoint(self):
+        with SharedArena([4, 6]) as arena:
+            arena.view(0)[:] = 1.0
+            arena.view(1)[:] = 2.0
+            assert np.all(arena.view(0) == 1.0)
+            assert np.all(arena.view(1) == 2.0)
+
+    def test_load(self):
+        with SharedArena([3]) as arena:
+            arena.load(0, np.array([1.0, 2.0, 3.0]))
+            assert np.array_equal(arena.view(0), [1.0, 2.0, 3.0])
+
+    def test_close_idempotent(self):
+        arena = SharedArena([2])
+        arena.close()
+        arena.close()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BackendError):
+            SharedArena([-1])
+
+    def test_empty_vector_ok(self):
+        with SharedArena([0, 5]) as arena:
+            assert arena.view(0).size == 0
+            assert arena.view(1).size == 5

@@ -1,0 +1,75 @@
+"""Tests for the paper-network analog registry."""
+
+import pytest
+
+from repro.bn.repository import (
+    PAPER_NETWORKS,
+    SPECS,
+    load_network,
+    network_spec,
+)
+from repro.errors import NetworkError
+
+
+class TestSpecs:
+    def test_all_six_networks_present(self):
+        assert PAPER_NETWORKS == (
+            "hailfinder", "pathfinder", "diabetes", "pigs", "munin2", "munin4"
+        )
+
+    def test_published_node_counts(self):
+        # Node counts from the bnlearn repository page.
+        assert SPECS["hailfinder"].nodes == 56
+        assert SPECS["pathfinder"].nodes == 109
+        assert SPECS["diabetes"].nodes == 413
+        assert SPECS["pigs"].nodes == 441
+        assert SPECS["munin2"].nodes == 1003
+        assert SPECS["munin4"].nodes == 1041
+
+    def test_large_scale_flags(self):
+        """The paper marks the last four as large-scale."""
+        assert not SPECS["hailfinder"].large_scale
+        assert not SPECS["pathfinder"].large_scale
+        for name in ("diabetes", "pigs", "munin2", "munin4"):
+            assert SPECS[name].large_scale
+
+    def test_unknown_spec(self):
+        with pytest.raises(NetworkError):
+            network_spec("alarm")
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", PAPER_NETWORKS)
+    def test_analog_matches_node_count(self, name):
+        net = load_network(name)
+        assert net.num_variables == SPECS[name].nodes
+
+    def test_deterministic(self):
+        n1, n2 = load_network("hailfinder"), load_network("hailfinder")
+        assert n1.variable_names == n2.variable_names
+        assert list(n1.edges()) == list(n2.edges())
+
+    def test_bench_scale_caps_states(self):
+        net = load_network("diabetes", scale="bench")
+        cap = SPECS["diabetes"].bench_state_cap
+        assert max(v.cardinality for v in net.variables) <= cap
+
+    def test_paper_scale_larger_states(self):
+        bench = load_network("hailfinder", scale="bench")
+        paper = load_network("hailfinder", scale="paper")
+        assert (max(v.cardinality for v in paper.variables)
+                >= max(v.cardinality for v in bench.variables))
+
+    def test_max_in_degree_respected(self):
+        net = load_network("munin2")
+        assert net.max_in_degree() <= SPECS["munin2"].max_in_degree
+
+    def test_unknown_scale(self):
+        with pytest.raises(NetworkError):
+            load_network("pigs", scale="huge")
+
+    def test_size_ordering_matches_paper(self):
+        """Per-network total table mass grows from small-scale to Munin4."""
+        small = load_network("hailfinder").total_cpt_entries()
+        large = load_network("munin4").total_cpt_entries()
+        assert large > 5 * small

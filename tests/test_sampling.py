@@ -1,0 +1,105 @@
+"""Tests for forward sampling and test-case generation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.enumeration import EnumerationEngine
+from repro.bn.sampling import (
+    TestCase,
+    empirical_marginal,
+    forward_sample,
+    forward_sample_many,
+    generate_test_cases,
+)
+from repro.errors import EvidenceError
+
+
+class TestForwardSample:
+    def test_returns_complete_assignment(self, asia, rng):
+        s = forward_sample(asia, rng)
+        assert set(s) == set(asia.variable_names)
+        for name, state in s.items():
+            assert 0 <= state < asia.variable(name).cardinality
+
+    def test_deterministic_with_seed(self, asia):
+        assert forward_sample(asia, 7) == forward_sample(asia, 7)
+
+    def test_vectorised_matches_marginals(self, sprinkler):
+        """Empirical marginals from the batched sampler match exact ones."""
+        samples = forward_sample_many(sprinkler, 20000, rng=0)
+        exact = EnumerationEngine(sprinkler).infer({})
+        for name in sprinkler.variable_names:
+            emp = empirical_marginal(samples, name, sprinkler.variable(name).cardinality)
+            assert np.allclose(emp, exact.posteriors[name], atol=0.02)
+
+    def test_zero_samples(self, asia):
+        assert forward_sample_many(asia, 0, rng=0) == []
+
+    def test_negative_samples_rejected(self, asia):
+        with pytest.raises(ValueError):
+            forward_sample_many(asia, -1)
+
+    def test_respects_deterministic_cpt(self, asia):
+        """'either' is a logical OR of lung and tub in Asia."""
+        for s in forward_sample_many(asia, 200, rng=1):
+            yes = asia.variable("either").state_index("yes")
+            lung_yes = s["lung"] == asia.variable("lung").state_index("yes")
+            tub_yes = s["tub"] == asia.variable("tub").state_index("yes")
+            assert (s["either"] == yes) == (lung_yes or tub_yes)
+
+
+class TestGenerateTestCases:
+    def test_observed_fraction(self, asia):
+        cases = generate_test_cases(asia, 50, observed_fraction=0.25, rng=0)
+        assert len(cases) == 50
+        for case in cases:
+            assert len(case.evidence) == round(0.25 * 8)
+
+    def test_paper_fraction_is_20_percent(self, asia):
+        cases = generate_test_cases(asia, 5, rng=0)
+        for case in cases:
+            assert len(case.evidence) == round(0.2 * 8)
+
+    def test_zero_fraction(self, asia):
+        cases = generate_test_cases(asia, 3, observed_fraction=0.0, rng=0)
+        assert all(not c.evidence for c in cases)
+
+    def test_full_fraction(self, asia):
+        cases = generate_test_cases(asia, 3, observed_fraction=1.0, rng=0)
+        assert all(len(c.evidence) == 8 for c in cases)
+
+    def test_invalid_fraction(self, asia):
+        with pytest.raises(EvidenceError):
+            generate_test_cases(asia, 1, observed_fraction=1.5)
+
+    def test_deterministic(self, asia):
+        a = generate_test_cases(asia, 10, rng=42)
+        b = generate_test_cases(asia, 10, rng=42)
+        assert [c.evidence for c in a] == [c.evidence for c in b]
+
+    def test_evidence_has_positive_probability(self, asia):
+        """Evidence drawn from a joint sample can never be impossible."""
+        en = EnumerationEngine(asia)
+        for case in generate_test_cases(asia, 30, rng=3):
+            result = en.infer(case.evidence)  # would raise on P(e)=0
+            assert result.log_evidence <= 0.0
+
+    def test_targets_disjoint_from_evidence(self, asia):
+        cases = generate_test_cases(asia, 20, rng=1, num_targets=3)
+        for case in cases:
+            assert not set(case.targets) & set(case.evidence)
+            assert len(case.targets) == 3
+
+    def test_testcase_overlap_rejected(self):
+        with pytest.raises(EvidenceError):
+            TestCase(evidence={"a": 0}, targets=("a",))
+
+
+class TestEmpiricalMarginal:
+    def test_counts(self):
+        samples = [{"x": 0}, {"x": 1}, {"x": 1}, {"x": 1}]
+        assert np.allclose(empirical_marginal(samples, "x", 2), [0.25, 0.75])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvidenceError):
+            empirical_marginal([], "x", 2)

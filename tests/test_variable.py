@@ -1,0 +1,87 @@
+"""Unit tests for repro.bn.variable."""
+
+import pytest
+
+from repro.bn.variable import Variable
+from repro.errors import NetworkError
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = Variable("rain", ("yes", "no"))
+        assert v.name == "rain"
+        assert v.cardinality == 2
+        assert v.states == ("yes", "no")
+
+    def test_states_coerced_to_str(self):
+        v = Variable("x", (0, 1, 2))
+        assert v.states == ("0", "1", "2")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetworkError):
+            Variable("", ("a", "b"))
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(NetworkError):
+            Variable("x", ())
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(NetworkError):
+            Variable("x", ("a", "a"))
+
+    def test_single_state_allowed(self):
+        assert Variable("x", ("only",)).cardinality == 1
+
+    def test_binary_helper(self):
+        v = Variable.binary("flag")
+        assert v.states == ("no", "yes")
+
+    def test_with_arity_helper(self):
+        v = Variable.with_arity("x", 4)
+        assert v.states == ("s0", "s1", "s2", "s3")
+
+    def test_with_arity_invalid(self):
+        with pytest.raises(NetworkError):
+            Variable.with_arity("x", 0)
+
+
+class TestStateIndex:
+    def test_by_label(self):
+        v = Variable("x", ("lo", "mid", "hi"))
+        assert v.state_index("mid") == 1
+
+    def test_by_int(self):
+        v = Variable.with_arity("x", 3)
+        assert v.state_index(2) == 2
+
+    def test_unknown_label(self):
+        v = Variable.binary("x")
+        with pytest.raises(NetworkError, match="unknown state"):
+            v.state_index("maybe")
+
+    def test_out_of_range_int(self):
+        v = Variable.binary("x")
+        with pytest.raises(NetworkError, match="out of range"):
+            v.state_index(5)
+
+    def test_negative_int(self):
+        v = Variable.binary("x")
+        with pytest.raises(NetworkError):
+            v.state_index(-1)
+
+
+class TestEquality:
+    def test_equal_variables(self):
+        assert Variable.binary("x") == Variable.binary("x")
+
+    def test_same_name_different_states(self):
+        assert Variable("x", ("a", "b")) != Variable("x", ("a", "b", "c"))
+
+    def test_hashable(self):
+        s = {Variable.binary("x"), Variable.binary("x"), Variable.binary("y")}
+        assert len(s) == 2
+
+    def test_frozen(self):
+        v = Variable.binary("x")
+        with pytest.raises(Exception):
+            v.name = "y"  # type: ignore[misc]
