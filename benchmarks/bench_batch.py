@@ -1,10 +1,14 @@
-"""Extension bench: within-case vs across-case parallelism.
+"""Extension bench: within-case vs across-case vs *vectorised* batching.
 
 The paper parallelises inside one inference; its 2000-case workload also
-admits running whole cases concurrently.  This bench compares the two
-axes at the same worker count — across-case wins when cliques are small
-(no dispatch inside the case), within-case wins when single cliques
-dominate the runtime.
+admits running whole cases concurrently — and, further, stacking all
+cases into one ``(N, table)`` batch and calibrating them in a single pass
+of the layer schedule (:class:`repro.core.batch.BatchedFastBNI`).  This
+bench compares the three axes at the same worker count: across-case wins
+over within-case when cliques are small (no dispatch inside the case),
+and the vectorised engine beats the sequential loop outright by replacing
+``O(messages × cases)`` small NumPy calls with ``O(messages)`` large
+contiguous ones.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import bench_networks, bench_threads, workload
-from repro.core import FastBNI
+from repro.core import BatchedFastBNI, FastBNI
 
 _NETWORK = bench_networks()[0]
 
@@ -39,4 +43,21 @@ def test_batch_within_cases(benchmark, threads):
                  num_workers=threads) as engine:
         benchmark.pedantic(engine.infer_batch, args=(wl.cases,),
                            kwargs={"case_workers": 1},
+                           rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_batch_vectorized(benchmark):
+    """Single-worker vectorised batch vs the sequential loop above."""
+    wl = workload(_NETWORK)
+    with BatchedFastBNI(wl.net, mode="seq") as engine:
+        benchmark.pedantic(engine.infer_cases, args=(wl.cases,),
+                           rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_batch_vectorized_blocks(benchmark, threads):
+    """Vectorised batch with case blocks dispatched across threads."""
+    wl = workload(_NETWORK)
+    with BatchedFastBNI(wl.net, mode="hybrid", backend="thread",
+                        num_workers=threads) as engine:
+        benchmark.pedantic(engine.infer_cases, args=(wl.cases,),
                            rounds=3, iterations=1, warmup_rounds=1)

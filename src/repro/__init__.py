@@ -28,9 +28,9 @@ from repro.bn.generators import (
 )
 from repro.bn.repository import PAPER_NETWORKS, load_network
 from repro.bn.sampling import TestCase, forward_sample, generate_test_cases
-from repro.core import FastBNI, FastBNIConfig
+from repro.core import BatchedFastBNI, FastBNI, FastBNIConfig
 from repro.jt import JunctionTreeEngine
-from repro.jt.engine import InferenceResult
+from repro.jt.engine import BatchInferenceResult, InferenceResult
 
 __version__ = "1.0.0"
 
@@ -39,9 +39,11 @@ __all__ = [
     "CPT",
     "BayesianNetwork",
     "FastBNI",
+    "BatchedFastBNI",
     "FastBNIConfig",
     "JunctionTreeEngine",
     "InferenceResult",
+    "BatchInferenceResult",
     "TestCase",
     "load_dataset",
     "load_network",

@@ -29,11 +29,20 @@ class TestCase:
     #: Variables whose posteriors the engine must report; empty = all
     #: unobserved variables.
     targets: tuple[str, ...] = field(default=())
+    #: Optional likelihood vectors (virtual evidence) per variable; engines
+    #: that cannot batch soft evidence fall back to per-case inference.
+    soft_evidence: "dict[str, object] | None" = field(default=None)
 
     def __post_init__(self) -> None:
         overlap = set(self.evidence) & set(self.targets)
         if overlap:
             raise EvidenceError(f"targets overlap evidence: {sorted(overlap)}")
+        if self.soft_evidence:
+            hard_and_soft = set(self.evidence) & set(self.soft_evidence)
+            if hard_and_soft:
+                raise EvidenceError(
+                    f"soft evidence overlaps hard evidence: {sorted(hard_and_soft)}"
+                )
 
 
 def forward_sample(

@@ -14,7 +14,8 @@ correspond to the paper's design space:
   (:mod:`repro.core.hybrid`).
 """
 
+from repro.core.batch import BatchedFastBNI
 from repro.core.config import FastBNIConfig
 from repro.core.fastbni import FastBNI
 
-__all__ = ["FastBNI", "FastBNIConfig"]
+__all__ = ["BatchedFastBNI", "FastBNI", "FastBNIConfig"]

@@ -246,6 +246,7 @@ class FastBNI:
         cases,
         case_workers: int = 1,
         targets: tuple[str, ...] = (),
+        vectorized: bool = False,
     ) -> list[InferenceResult]:
         """Run a batch of test cases, optionally parallel *across* cases.
 
@@ -254,17 +255,38 @@ class FastBNI:
         concurrently (each case calibrates sequentially on its own
         TreeState; the compiled tree and index-map cache are shared
         read-only).  ``case_workers=1`` is a plain loop.
+
+        ``vectorized=True`` selects the batched fast path
+        (:mod:`repro.core.batch`): all cases are calibrated together in one
+        pass of the layer schedule over ``(N, table)`` arrays, dispatched
+        to this engine's backend as case blocks.  It supersedes
+        ``case_workers`` — across-case parallelism then comes from the
+        engine backend's workers, not a per-call thread pool.  Cases
+        carrying soft evidence fall back cleanly to the per-case loop
+        (batched reduction expresses hard evidence only), where
+        ``case_workers`` applies again.
         """
+        from repro.core.batch import case_evidence, case_soft_evidence
+
         cases = list(cases)
+        if vectorized and cases and not any(case_soft_evidence(c) for c in cases):
+            from repro.core.batch import infer_cases
+
+            return list(infer_cases(self, cases, targets))
         if case_workers <= 1 or len(cases) <= 1:
-            return [self.infer(c.evidence, targets) for c in cases]
+            return [self.infer(case_evidence(c), targets,
+                               soft_evidence=case_soft_evidence(c))
+                    for c in cases]
         # Warm the map cache serially so concurrent reads never mutate it.
         if cases:
-            self.infer(cases[0].evidence, targets)
+            self.infer(case_evidence(cases[0]), targets,
+                       soft_evidence=case_soft_evidence(cases[0]))
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=case_workers) as pool:
-            futures = [pool.submit(self.infer, c.evidence, targets) for c in cases]
+            futures = [pool.submit(self.infer, case_evidence(c), targets,
+                                   case_soft_evidence(c))
+                       for c in cases]
             return [f.result() for f in futures]
 
     def stats(self) -> dict[str, float]:

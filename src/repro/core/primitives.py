@@ -16,6 +16,11 @@ table can run concurrently with no synchronisation:
 * :func:`absorb_chunk` multiplies a clique range by extended ratio values
   (gather; writes only its own range);
 * :func:`reduce_chunk` zeroes evidence-inconsistent entries of a range.
+
+The ``*_batch_chunk`` variants broadcast the same index maps over a
+leading *case* axis: tables become ``(N, size)`` batches (one row per
+inference case) and the parallel work unit becomes a contiguous block of
+case rows (see :mod:`repro.core.batch`).
 """
 
 from __future__ import annotations
@@ -99,6 +104,53 @@ def sum_chunk(src: ArrayRef, lo: int, hi: int) -> float:
 def scale_chunk(dst: ArrayRef, lo: int, hi: int, factor: float) -> None:
     """In-place scaling of a range."""
     dst.resolve()[lo:hi] *= factor
+
+
+#: Flattened-bincount cutover: above this many (case, entry) pairs the
+#: shifted int64 index temp would rival the batch table itself, so the
+#: batched marginalization falls back to one bincount per case row.
+FLAT_BINCOUNT_LIMIT = 1 << 22
+
+
+def marg_batch_chunk(src: ArrayRef, n: int, row_lo: int, row_hi: int,
+                     triples: StrideTriples, dst_size: int,
+                     imap: np.ndarray | None = None) -> np.ndarray:
+    """Batched marginalization of case rows ``[row_lo, row_hi)``.
+
+    ``src`` resolves to an ``(n, src_size)`` batch stored flat; the same
+    stride-triple index map that :func:`marg_chunk` scatters one table
+    through is broadcast over the leading case axis, producing the
+    ``(row_hi - row_lo, dst_size)`` messages of every case in the block with
+    one (or per-row one) C-level bincount pass instead of a Python-level
+    loop over cases.
+    """
+    values = src.resolve().reshape(n, -1)[row_lo:row_hi]
+    k, size = values.shape
+    m = imap if imap is not None else chunk_dst_indices(0, size, triples)
+    if k * size <= FLAT_BINCOUNT_LIMIT:
+        shifted = m[None, :] + (np.arange(k, dtype=np.int64) * dst_size)[:, None]
+        flat = np.bincount(shifted.ravel(), weights=values.ravel(),
+                           minlength=k * dst_size)
+        return flat.reshape(k, dst_size)
+    out = np.empty((k, dst_size))
+    for i in range(k):
+        out[i] = np.bincount(m, weights=values[i], minlength=dst_size)
+    return out
+
+
+def absorb_batch_chunk(dst: ArrayRef, n: int, row_lo: int, row_hi: int,
+                       updates: tuple[tuple[StrideTriples, np.ndarray | None,
+                                            np.ndarray], ...]) -> None:
+    """Batched absorb: case rows ``[row_lo, row_hi)`` of ``dst`` ``*=`` ratios.
+
+    Each update carries (stride triples, optional cached map, ``(k, sep)``
+    ratio block); the gather through the map runs as one 2-D fancy index
+    over the whole case block — the batched form of :func:`absorb_chunk`.
+    """
+    values = dst.resolve().reshape(n, -1)[row_lo:row_hi]
+    for triples, imap, ratio in updates:
+        m = imap if imap is not None else chunk_dst_indices(0, values.shape[1], triples)
+        values *= ratio[:, m]
 
 
 def ratio_vector(new: np.ndarray, old: np.ndarray) -> np.ndarray:

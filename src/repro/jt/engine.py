@@ -34,6 +34,40 @@ class InferenceResult:
         return self.posteriors[name]
 
 
+@dataclass
+class BatchInferenceResult:
+    """Columnar results for a calibrated batch of ``n`` cases.
+
+    ``posteriors[name]`` is an ``(n, card)`` array (row *i* = case *i*'s
+    posterior) and ``log_evidence`` is ``(n,)`` — the memory layout the
+    batched engine computes natively.  :meth:`case` materialises the
+    per-case :class:`InferenceResult` view, so batched and looped runs are
+    interchangeable for callers that iterate.
+    """
+
+    posteriors: dict[str, np.ndarray]
+    log_evidence: np.ndarray
+    meta: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.log_evidence.shape[0])
+
+    def posterior(self, name: str) -> np.ndarray:
+        return self.posteriors[name]
+
+    def case(self, i: int) -> InferenceResult:
+        """Per-case view (shares the underlying batch arrays)."""
+        if not 0 <= i < len(self):
+            raise IndexError(f"case {i} out of range (batch of {len(self)})")
+        return InferenceResult(
+            posteriors={name: vals[i] for name, vals in self.posteriors.items()},
+            log_evidence=float(self.log_evidence[i]),
+        )
+
+    def __iter__(self):
+        return (self.case(i) for i in range(len(self)))
+
+
 class JunctionTreeEngine:
     """Sequential reference engine.
 

@@ -7,9 +7,9 @@ import math
 import numpy as np
 
 from repro.errors import QueryError
-from repro.jt.structure import TreeState
+from repro.jt.structure import BatchTreeState, TreeState
 from repro.potential.factor import Potential
-from repro.potential.ops import marginalize, normalize
+from repro.potential.ops import marginalize, marginalize_batch, normalize
 
 
 def posterior(state: TreeState, var_name: str) -> np.ndarray:
@@ -57,3 +57,39 @@ def log_evidence(state: TreeState) -> float:
     if root_total <= 0.0:
         return -math.inf
     return state.log_norm + math.log(root_total)
+
+
+# ---------------------------------------------------------------------- batched
+def posterior_batch(state: BatchTreeState, var_name: str) -> np.ndarray:
+    """``P(var | evidence_i)`` for every case: an ``(n, card)`` row-stochastic
+    array, the batched form of :func:`posterior`."""
+    tree = state.tree
+    if var_name not in tree.net:
+        raise QueryError(f"unknown variable {var_name!r}")
+    cid = tree.smallest_clique_with(var_name)
+    marg = marginalize_batch(state.clique_pot[cid],
+                             tree.cliques[cid].domain, (var_name,))
+    totals = marg.sum(axis=1)
+    bad = np.flatnonzero(~np.isfinite(totals) | (totals <= 0.0))
+    if bad.size:
+        raise QueryError(
+            f"cannot normalise posterior of {var_name!r} in case {bad[0]} "
+            f"(total={totals[bad[0]]})"
+        )
+    return marg / totals[:, None]
+
+
+def all_posteriors_batch(state: BatchTreeState,
+                         targets: tuple[str, ...] = ()) -> dict[str, np.ndarray]:
+    """Batched posteriors for ``targets`` (default: every network variable)."""
+    names = targets or state.tree.net.variable_names
+    return {name: posterior_batch(state, name) for name in names}
+
+
+def log_evidence_batch(state: BatchTreeState) -> np.ndarray:
+    """Per-case ``log P(evidence)``: ``(n,)``, ``-inf`` where impossible."""
+    root_totals = state.clique_pot[state.tree.root].sum(axis=1)
+    out = np.full(state.n, -np.inf)
+    ok = root_totals > 0.0
+    out[ok] = state.log_norm[ok] + np.log(root_totals[ok])
+    return out

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.bn.network import BayesianNetwork
 from repro.errors import JunctionTreeError
 from repro.graph.cliques import elimination_cliques
@@ -146,6 +148,16 @@ class JunctionTree:
         """Allocate working potentials initialised from the assigned CPTs."""
         return TreeState(self)
 
+    def fresh_batch_state(self, num_cases: int,
+                          base_cliques: "list | None" = None) -> "BatchTreeState":
+        """Allocate a batched calibration state for ``num_cases`` cases.
+
+        ``base_cliques`` optionally supplies the CPT-product clique tables
+        (one 1-D array per clique) so engines can pay the CPT multiply once
+        and reuse it across batches.
+        """
+        return BatchTreeState(self, num_cases, base_cliques)
+
     # ----------------------------------------------------------------- lookup
     def cliques_with(self, var_name: str) -> list[int]:
         """Ids of cliques whose domain contains ``var_name``."""
@@ -193,6 +205,53 @@ class TreeState:
             self.clique_pot.append(pot)
         self.sep_pot: list[Potential] = [Potential(s.domain) for s in tree.separators]
         self.log_norm: float = 0.0
+
+
+class BatchTreeState:
+    """Working potentials for ``n`` inference cases calibrated together.
+
+    The batched analogue of :class:`TreeState`: every clique/separator table
+    is materialised as an ``(n, table_size)`` C-contiguous array whose rows
+    are the per-case tables, and ``log_norm`` is an ``(n,)`` vector of the
+    per-case accumulated normalisation constants.  Row *i* of every array is
+    exactly the state that a per-case :class:`TreeState` would hold for case
+    *i*, so batched engines can be validated row-by-row against the
+    sequential ones.
+    """
+
+    __slots__ = ("tree", "n", "clique_pot", "sep_pot", "log_norm")
+
+    def __init__(self, tree: JunctionTree, n: int,
+                 base_cliques: list | None = None) -> None:
+        if n < 1:
+            raise JunctionTreeError(f"batch needs at least one case, got {n}")
+        self.tree = tree
+        self.n = n
+        if base_cliques is None:
+            base_cliques = [p.values for p in TreeState(tree).clique_pot]
+        self.clique_pot: list = [
+            np.broadcast_to(v, (n, v.size)).copy()  # always a writable C copy
+            for v in base_cliques
+        ]
+        self.sep_pot: list = [np.ones((n, s.size)) for s in tree.separators]
+        self.log_norm = np.zeros(n)
+
+    def case_state(self, i: int) -> TreeState:
+        """A per-case :class:`TreeState` view of row ``i`` (shares memory)."""
+        if not 0 <= i < self.n:
+            raise JunctionTreeError(f"case {i} out of range (batch of {self.n})")
+        state = TreeState.__new__(TreeState)
+        state.tree = self.tree
+        state.clique_pot = [
+            Potential(c.domain, self.clique_pot[c.id][i])
+            for c in self.tree.cliques
+        ]
+        state.sep_pot = [
+            Potential(s.domain, self.sep_pot[s.id][i])
+            for s in self.tree.separators
+        ]
+        state.log_norm = float(self.log_norm[i])
+        return state
 
 
 def assign_cpts(net: BayesianNetwork, cliques: list[Clique]) -> None:

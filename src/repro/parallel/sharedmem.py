@@ -79,6 +79,14 @@ class SharedArena:
         self.sizes = list(sizes)
         self._closed = False
 
+    @classmethod
+    def for_batch(cls, sizes: list[int], num_cases: int) -> "SharedArena":
+        """Arena sized for a batched state: each vector holds ``num_cases``
+        stacked copies of a table (flat ``num_cases * size`` float64)."""
+        if num_cases < 1:
+            raise BackendError(f"batch arena needs >= 1 case, got {num_cases}")
+        return cls([s * num_cases for s in sizes])
+
     def view(self, i: int) -> np.ndarray:
         """Live ndarray view of vector ``i`` in the arena."""
         return np.frombuffer(self.shm.buf, dtype=np.float64,

@@ -185,6 +185,75 @@ def reduce_evidence_inplace(pot: Potential, evidence: dict[str, str | int]) -> N
         pot.values *= consistency_mask(pot.domain, ev)
 
 
+# -------------------------------------------------------------------- batched
+def marginalize_batch(values: np.ndarray, domain: Domain,
+                      keep: tuple[str, ...] | list[str] | set[str],
+                      method: str = "auto") -> np.ndarray:
+    """Marginalize ``N`` stacked tables at once.
+
+    ``values`` is ``(N, domain.size)`` — one row per inference case over the
+    same domain.  Returns ``(N, subset.size)`` with the subset keeping
+    ``domain``'s variable order (exactly :func:`marginalize` per row, but as
+    one contiguous NumPy reduction over the whole batch).
+    """
+    method = _check_method(method)
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2 or values.shape[1] != domain.size:
+        raise PotentialError(
+            f"batch values have shape {values.shape}, expected (N, {domain.size})"
+        )
+    out_dom = domain.subset(tuple(keep))
+    if out_dom.names == domain.names:
+        return values.copy()
+    n = values.shape[0]
+    if method == "ndview":
+        drop = tuple(i + 1 for i, v in enumerate(domain.variables)
+                     if v.name not in out_dom)
+        return np.ascontiguousarray(
+            values.reshape((n,) + domain.shape).sum(axis=drop).reshape(n, out_dom.size))
+    imap = map_indices(domain, out_dom)
+    shifted = imap[None, :] + (np.arange(n, dtype=np.int64) * out_dom.size)[:, None]
+    flat = np.bincount(shifted.ravel(), weights=values.ravel(),
+                       minlength=n * out_dom.size)
+    return flat.reshape(n, out_dom.size)
+
+
+def absorb_batch(values: np.ndarray, domain: Domain,
+                 other: np.ndarray, other_domain: Domain,
+                 method: str = "auto") -> None:
+    """In-place batched ``values *= extend(other)`` over the case axis.
+
+    ``values`` is ``(N, domain.size)``, ``other`` is ``(N, other_domain.size)``
+    with ``other_domain``'s scope contained in ``domain``'s; row *i* of
+    ``other`` is extended into ``domain`` and multiplied into row *i* of
+    ``values`` — the batched form of :func:`multiply_into` (the Hugin
+    absorption update) for ``N`` cases in one broadcast.
+    """
+    method = _check_method(method)
+    missing = [n for n in other_domain.names if n not in domain]
+    if missing:
+        raise PotentialError(
+            f"absorb_batch requires scope containment; {missing} not in "
+            f"{domain.names}"
+        )
+    if values.ndim != 2 or other.ndim != 2 or values.shape[0] != other.shape[0]:
+        raise PotentialError(
+            f"batch shapes {values.shape} / {other.shape} disagree on the case axis"
+        )
+    n = values.shape[0]
+    if method == "ndview":
+        perm = sorted(range(len(other_domain)),
+                      key=lambda i: domain.axis(other_domain.variables[i]))
+        nd = other.reshape((n,) + other_domain.shape)
+        nd = nd.transpose((0,) + tuple(p + 1 for p in perm))
+        shape = [n] + [1] * len(domain)
+        for v in other_domain.variables:
+            shape[domain.axis(v) + 1] = v.cardinality
+        values.reshape((n,) + domain.shape)[...] *= nd.reshape(shape)
+    else:
+        values *= other[:, map_indices(domain, other_domain)]
+
+
 # ------------------------------------------------------------------- normalize
 def normalize(pot: Potential) -> float:
     """Rescale in place so entries sum to 1; returns the pre-normalisation sum.

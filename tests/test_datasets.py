@@ -17,6 +17,27 @@ class TestLoading:
         with pytest.raises(KeyError):
             load_dataset("nope")
 
+    @pytest.mark.parametrize("name", BUNDLED)
+    def test_shipped_as_package_resources(self, name):
+        """The .bif files must resolve through importlib.resources (the
+        loader's own access path), so they work from an installed wheel,
+        not just a source checkout."""
+        from importlib import resources
+
+        res = resources.files("repro.bn.datasets").joinpath(f"{name}.bif")
+        assert res.is_file()
+        assert "probability" in res.read_text()
+
+    @pytest.mark.parametrize("name", BUNDLED)
+    def test_bif_round_trips(self, name):
+        from repro.bn import io_bif
+
+        net = load_dataset(name)
+        again = io_bif.loads(io_bif.dumps(net))
+        assert again.variable_names == net.variable_names
+        for v in net.variables:
+            assert np.allclose(again.cpt(v.name).table, net.cpt(v.name).table)
+
     def test_asia_structure(self, asia):
         assert asia.num_variables == 8
         assert {p.name for p in asia.parents("either")} == {"lung", "tub"}
