@@ -61,3 +61,132 @@ def test_batch_vectorized_blocks(benchmark, threads):
                         num_workers=threads) as engine:
         benchmark.pedantic(engine.infer_cases, args=(wl.cases,),
                            rounds=3, iterations=1, warmup_rounds=1)
+
+
+# --------------------------------------------------------------- service bench
+def bench_service(num_requests: int = 96, concurrency: int = 8,
+                  network: str = "asia", max_batch: int = 32,
+                  max_wait_ms: float = 2.0, seed: int = 2023) -> dict:
+    """Closed-loop throughput of the inference service (requests/s).
+
+    ``concurrency`` persistent client connections share ``num_requests``
+    single-case queries from a common work queue; each client issues its
+    next request only after the previous response arrives (closed loop),
+    so throughput reflects micro-batching efficiency, not queue depth.
+    Returns a machine-readable result dict (the row format of
+    ``BENCH_service.json``).
+    """
+    import asyncio
+    import json
+    import time
+
+    from repro.bn.sampling import generate_test_cases
+    from repro.service import InferenceServer
+    from repro.service.registry import resolve_network
+
+    net = resolve_network(network)
+    cases = [c.evidence for c in generate_test_cases(
+        net, num_requests, observed_fraction=0.2, rng=seed)]
+
+    async def closed_loop():
+        server = InferenceServer(port=0, max_batch=max_batch,
+                                 max_wait_ms=max_wait_ms)
+        server.preload([network])
+        await server.start()
+        work = iter(range(num_requests))
+        start = time.perf_counter()
+
+        async def worker() -> int:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            done = 0
+            for i in work:
+                writer.write(json.dumps({
+                    "id": i, "op": "query", "network": network,
+                    "evidence": cases[i],
+                }).encode() + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"], response
+                done += 1
+            writer.close()
+            return done
+
+        counts = await asyncio.gather(*[worker() for _ in range(concurrency)])
+        elapsed = time.perf_counter() - start
+        snapshot = server.metrics.snapshot()
+        await server.stop()
+        assert sum(counts) == num_requests
+        return elapsed, snapshot
+
+    elapsed, snapshot = asyncio.run(closed_loop())
+    return {
+        "network": network,
+        "requests": num_requests,
+        "concurrency": concurrency,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "elapsed_s": elapsed,
+        "rps": num_requests / elapsed,
+        "mean_batch_fill": snapshot["batches"]["mean_fill"],
+        "latency_ms": {k: snapshot["latency_ms"][k]
+                       for k in ("p50", "p90", "p99", "mean", "max")},
+    }
+
+
+@pytest.mark.parametrize("concurrency", [1, 8, 32])
+def test_service_closed_loop(benchmark, concurrency):
+    """Service requests/s at varying closed-loop concurrency."""
+    benchmark.pedantic(bench_service,
+                       kwargs={"num_requests": 96, "concurrency": concurrency},
+                       rounds=2, iterations=1, warmup_rounds=1)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Standalone sweep: ``PYTHONPATH=src python -m benchmarks.bench_batch``.
+
+    Writes the machine-readable ``BENCH_service.json`` next to the repo
+    root so the serving-layer perf trajectory accumulates across PRs.
+    """
+    import argparse
+    import json
+    import sys
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--network", default="asia")
+    parser.add_argument("--requests", type=int, default=192)
+    parser.add_argument("--concurrency", default="1,4,16,64",
+                        help="comma-separated closed-loop client counts")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    results = []
+    for concurrency in (int(c) for c in args.concurrency.split(",")):
+        row = bench_service(num_requests=args.requests,
+                            concurrency=concurrency,
+                            network=args.network,
+                            max_batch=args.max_batch,
+                            max_wait_ms=args.max_wait_ms)
+        results.append(row)
+        print(f"concurrency {concurrency:>3}: {row['rps']:8.1f} req/s   "
+              f"mean fill {row['mean_batch_fill']:5.1f}   "
+              f"p99 {row['latency_ms']['p99']:6.1f} ms")
+
+    payload = {
+        "benchmark": "service_closed_loop",
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

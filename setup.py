@@ -23,4 +23,5 @@ setup(
     include_package_data=True,
     python_requires=">=3.10",
     install_requires=["numpy"],
+    entry_points={"console_scripts": ["fastbni = repro.cli:main"]},
 )

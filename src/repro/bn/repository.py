@@ -120,6 +120,33 @@ def network_spec(name: str) -> NetworkSpec:
         ) from None
 
 
+def resolve_network(name: str) -> BayesianNetwork:
+    """Load a network by bundled name, analog name, or ``.bif`` path.
+
+    The one resolution rule shared by the CLI and the service registry:
+    bundled datasets (``asia``/``cancer``/``sprinkler``) first, then the
+    paper analogs (bench scale), then a filesystem path ending in ``.bif``.
+    """
+    from pathlib import Path
+
+    from repro.bn import io_bif
+    from repro.bn.datasets import BUNDLED, load_dataset
+
+    if name in BUNDLED:
+        return load_dataset(name)
+    if name in SPECS:
+        return load_network(name)
+    path = Path(name)
+    if path.suffix == ".bif":
+        if not path.exists():
+            raise NetworkError(f"BIF file {name!r} does not exist")
+        return io_bif.load(path)
+    raise NetworkError(
+        f"unknown network {name!r}: not a bundled dataset, not a paper "
+        f"analog, and not a path to a .bif file"
+    )
+
+
 def load_network(name: str, scale: str = "bench") -> BayesianNetwork:
     """Build the deterministic synthetic analog of a paper network.
 

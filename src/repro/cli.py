@@ -10,7 +10,10 @@ Subcommands regenerate every table/figure of the evaluation:
 * ``overhead``    — Fig E small-vs-large parallel overhead;
 * ``info``        — network/junction-tree statistics;
 * ``query``       — run one inference on a bundled or analog network, or a
-  whole case batch in one vectorised calibration pass (``--batch``).
+  whole case batch in one vectorised calibration pass (``--batch``);
+* ``serve``       — long-lived inference server (compiled-model registry +
+  dynamic micro-batching, JSON-lines over TCP);
+* ``client``      — query a running server (one-shot, scriptable).
 """
 
 from __future__ import annotations
@@ -65,12 +68,13 @@ def _cmd_overhead(args: argparse.Namespace) -> None:
 
 
 def _load_any(name: str):
-    from repro.bn.datasets import BUNDLED, load_dataset
-    from repro.bn.repository import load_network
+    from repro.bn.repository import resolve_network
+    from repro.errors import NetworkError
 
-    if name in BUNDLED:
-        return load_dataset(name)
-    return load_network(name)
+    try:
+        return resolve_network(name)
+    except NetworkError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _cmd_heuristics(args: argparse.Namespace) -> None:
@@ -96,23 +100,49 @@ def _cmd_info(args: argparse.Namespace) -> None:
         print(f"  {k}: {v}")
 
 
+def _parse_evidence_arg(text: str):
+    """``--evidence`` JSON: a dict (one case) or a list of dicts (a batch)."""
+    if not text:
+        return {}
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: --evidence is not valid JSON: {exc}")
+    if isinstance(value, dict):
+        return value
+    if isinstance(value, list) and all(isinstance(e, dict) for e in value):
+        return value
+    raise SystemExit(
+        "error: --evidence must be a JSON object (one case) or a JSON list "
+        f"of objects (a batch), got {type(value).__name__}"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> None:
     from repro.core import FastBNI
+    from repro.errors import ReproError
+    from repro.jt.evidence_soft import split_evidence
 
     net = _load_any(args.network)
-    evidence = json.loads(args.evidence) if args.evidence else {}
-    if args.batch or isinstance(evidence, list):
-        _run_batch_query(args, net, evidence)
-        return
-    with FastBNI(net, mode=args.mode, backend=args.backend,
-                 num_workers=args.workers) as engine:
-        result = engine.infer(evidence)
-        targets = args.targets.split(",") if args.targets else list(net.variable_names)[:10]
-        for name in targets:
-            var = net.variable(name)
-            dist = ", ".join(f"{s}={p:.4f}" for s, p in zip(var.states, result.posteriors[name]))
-            print(f"P({name} | e) = [{dist}]")
-        print(f"log P(e) = {result.log_evidence:.6f}")
+    evidence = _parse_evidence_arg(args.evidence)
+    try:
+        if args.batch or isinstance(evidence, list):
+            _run_batch_query(args, net, evidence)
+            return
+        # Scalar values are hard observations, list values soft likelihood
+        # vectors: --evidence '{"smoke": "yes", "xray": [0.7, 0.3]}'.
+        hard, soft = split_evidence(evidence)
+        with FastBNI(net, mode=args.mode, backend=args.backend,
+                     num_workers=args.workers) as engine:
+            result = engine.infer(hard, soft_evidence=soft or None)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    targets = args.targets.split(",") if args.targets else list(net.variable_names)[:10]
+    for name in targets:
+        var = net.variable(name)
+        dist = ", ".join(f"{s}={p:.4f}" for s, p in zip(var.states, result.posteriors[name]))
+        print(f"P({name} | e) = [{dist}]")
+    print(f"log P(e) = {result.log_evidence:.6f}")
 
 
 def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
@@ -124,11 +154,14 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
     """
     import time
 
-    from repro.bn.sampling import generate_test_cases
+    from repro.bn.sampling import TestCase, generate_test_cases
     from repro.core import BatchedFastBNI
+    from repro.jt.evidence_soft import split_evidence
 
     if isinstance(evidence, list):
-        cases = [dict(e) for e in evidence]
+        split = [split_evidence(dict(e)) for e in evidence]
+        cases = [TestCase(evidence=hard, soft_evidence=soft or None)
+                 for hard, soft in split]
     elif evidence:
         raise SystemExit(
             "query --batch generates random cases and would ignore the given "
@@ -142,15 +175,18 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
     with BatchedFastBNI(net, mode=args.mode, backend=args.backend,
                         num_workers=args.workers) as engine:
         start = time.perf_counter()
-        result = engine.infer_cases(cases, targets=targets)
+        # infer_batch's vectorised default falls back to the per-case loop
+        # when any case carries soft evidence.
+        results = engine.infer_batch(cases, targets=targets)
         elapsed = time.perf_counter() - start
-    n = len(result)
+        blocks = int(engine.metrics.get("batch_blocks", 0))
+    n = len(results)
+    detail = f", {blocks} case blocks" if blocks else " (per-case fallback)"
     print(f"batched {n} cases in {elapsed * 1e3:.1f} ms "
-          f"({elapsed / max(n, 1) * 1e3:.2f} ms/case, "
-          f"{int(result.meta['blocks'])} case blocks)")
+          f"({elapsed / max(n, 1) * 1e3:.2f} ms/case{detail})")
     shown = targets[:1] or list(net.variable_names)[:1]
     for i in range(min(n, 10)):
-        case = result.case(i)
+        case = results[i]
         name = shown[0]
         var = net.variable(name)
         dist = ", ".join(f"{s}={p:.4f}"
@@ -159,6 +195,88 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
               f"P({name} | e) = [{dist}]")
     if n > 10:
         print(f"  ... {n - 10} more cases")
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.service.server import run_server
+
+    preload = tuple(n.strip() for n in args.preload.split(",") if n.strip())
+
+    def on_ready(server) -> None:
+        models = ", ".join(preload) if preload else "none"
+        print(f"fastbni inference server listening on "
+              f"{server.host}:{server.port} "
+              f"(max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms}, "
+              f"preloaded: {models})", flush=True)
+
+    try:
+        # On SIGINT asyncio.Runner cancels the main task; run_server absorbs
+        # the cancellation and drains/stops cleanly, so asyncio.run usually
+        # returns normally rather than raising KeyboardInterrupt.
+        asyncio.run(run_server(
+            args.host, args.port,
+            preload=preload,
+            on_ready=on_ready,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            cache_dir=args.cache_dir or None,
+            max_bytes=int(args.max_mb * 1024 * 1024),
+            mode=args.mode, backend=args.backend, num_workers=args.workers,
+        ))
+    except KeyboardInterrupt:
+        pass
+    print("server stopped")
+
+
+def _cmd_client(args: argparse.Namespace) -> None:
+    from repro.errors import ReproError, ServiceError
+    from repro.service.client import ServiceClient
+
+    evidence = _parse_evidence_arg(args.evidence)
+    targets = [t for t in args.targets.split(",") if t] if args.targets else None
+    needs_network = args.op not in ("health", "stats")
+    if needs_network and not args.network:
+        raise SystemExit(f"error: op {args.op!r} requires a network argument")
+    try:
+        with ServiceClient(args.host, args.port,
+                           connect_retry_s=args.connect_timeout) as client:
+            if args.op == "query":
+                result = client.query(args.network, evidence or None,
+                                      targets=targets)
+            elif args.op == "query_batch":
+                if not isinstance(evidence, list):
+                    raise SystemExit("error: op query_batch needs --evidence "
+                                     "as a JSON list of per-case objects")
+                result = client.query_batch(args.network, evidence,
+                                            targets=targets)
+            elif args.op == "mpe":
+                result = client.mpe(args.network, evidence or None)
+            elif args.op == "info":
+                result = client.info(args.network)
+            else:
+                result = client.call(args.op)
+    except ServiceError as exc:
+        if args.json:
+            print(json.dumps({"ok": False,
+                              "error": {"type": exc.error_type or "ServiceError",
+                                        "message": str(exc)}}))
+            raise SystemExit(1)
+        raise SystemExit(f"error: {exc}")
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps({"ok": True, "result": result}))
+        return
+    if args.op == "query":
+        for name, probs in result["posteriors"].items():
+            dist = ", ".join(f"{p:.4f}" for p in probs)
+            print(f"P({name} | e) = [{dist}]")
+        print(f"log P(e) = {result['log_evidence']:.6f}   "
+              f"(served by: {result['served_by']})")
+    else:
+        print(json.dumps(result, indent=2, default=str))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,6 +340,49 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--backend", default="thread")
     q.add_argument("--workers", type=int, default=4)
     q.set_defaults(func=_cmd_query)
+
+    sv = sub.add_parser("serve", help="run the resident inference server "
+                                      "(registry + dynamic micro-batching)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7421,
+                    help="TCP port (0 picks an ephemeral port)")
+    sv.add_argument("--max-batch", type=int, default=64,
+                    help="flush a network's queue at this many queued cases")
+    sv.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="flush after the oldest query waited this long")
+    sv.add_argument("--cache-dir", default="",
+                    help="directory for serialized junction-tree warm starts")
+    sv.add_argument("--max-mb", type=float, default=256.0,
+                    help="registry resident-set byte budget (LRU eviction)")
+    sv.add_argument("--preload", default="",
+                    help="comma-separated models to compile before serving")
+    sv.add_argument("--mode", default="seq",
+                    help="engine mode for served models (default: seq — "
+                         "throughput comes from batching, not worker pools)")
+    sv.add_argument("--backend", default="thread")
+    sv.add_argument("--workers", type=int, default=1)
+    sv.set_defaults(func=_cmd_serve)
+
+    cl = sub.add_parser("client", help="query a running inference server")
+    cl.add_argument("network", nargs="?",
+                    help="model name or .bif path (not needed for "
+                         "health/stats)")
+    cl.add_argument("--op", default="query",
+                    choices=("query", "query_batch", "mpe", "info", "health",
+                             "stats"))
+    cl.add_argument("--evidence", default="",
+                    help='JSON; scalar values are hard evidence, lists are '
+                         'soft likelihoods: \'{"smoke": "yes", '
+                         '"xray": [0.7, 0.3]}\'')
+    cl.add_argument("--targets", default="",
+                    help="comma-separated query variables")
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=7421)
+    cl.add_argument("--connect-timeout", type=float, default=5.0,
+                    help="keep retrying the connect for this many seconds")
+    cl.add_argument("--json", action="store_true",
+                    help="print the raw JSON response envelope")
+    cl.set_defaults(func=_cmd_client)
     return p
 
 

@@ -284,6 +284,26 @@ class BatchedFastBNI(FastBNI):
     def name(self) -> str:
         return f"batched-{super().name}"
 
+    def prepare_baseline(self) -> "BatchedFastBNI":
+        """Precompute everything a batch calibration reuses across flushes.
+
+        Long-lived callers (the service layer's micro-batcher) flush many
+        small batches against one engine; this pays the batch-independent
+        work once up front — the batched message schedule, the CPT-product
+        clique tables, and the per-edge index maps — so each subsequent
+        :meth:`infer_cases` call only does per-batch work (evidence
+        absorption + kernel passes), never re-absorbing CPTs.  Idempotent;
+        returns ``self`` for chaining.
+        """
+        plan = build_batch_plan(self)
+        _base_clique_values(self)
+        for mp in plan.plans.values():
+            self.get_map(mp.child, mp.sep_id,
+                         self.tree.cliques[mp.child].size, mp.marg_up)
+            self.get_map(mp.parent, mp.sep_id,
+                         self.tree.cliques[mp.parent].size, mp.absorb_up)
+        return self
+
     def infer_cases(
         self,
         cases,

@@ -18,7 +18,7 @@ import numpy as np
 from repro.bn.network import BayesianNetwork
 from repro.core.config import FastBNIConfig
 from repro.core.primitives import StrideTriples
-from repro.errors import BackendError, EvidenceError
+from repro.errors import BackendError, EvidenceError, JunctionTreeError
 from repro.jt.engine import InferenceResult
 from repro.jt.evidence import absorb_evidence
 from repro.jt.layers import LayerSchedule, compute_layers
@@ -62,14 +62,22 @@ class FastBNI:
     """
 
     def __init__(self, net: BayesianNetwork, config: FastBNIConfig | None = None,
-                 **kwargs) -> None:
+                 tree: JunctionTree | None = None, **kwargs) -> None:
         if config is None:
             config = FastBNIConfig(**kwargs)
         elif kwargs:
             raise BackendError("pass either a config object or keyword options, not both")
         self.config = config
         self.net = net
-        self.tree: JunctionTree = compile_junction_tree(net, heuristic=config.heuristic)
+        if tree is not None and tree.net is not net:
+            raise JunctionTreeError(
+                "warm-start tree was compiled for a different network object; "
+                "load it with jt.serialize.load_tree(path, net) first"
+            )
+        self.tree: JunctionTree = (
+            tree if tree is not None
+            else compile_junction_tree(net, heuristic=config.heuristic)
+        )
         select_root(self.tree, config.root_strategy)
         self.schedule: LayerSchedule = compute_layers(self.tree)
         self.plans: dict[int, MessagePlan] = {}

@@ -47,3 +47,15 @@ class QueryError(ReproError):
 
 class BackendError(ReproError):
     """A parallel execution backend was misconfigured or failed."""
+
+
+class ServiceError(ReproError):
+    """The inference service rejected a request or a remote call failed.
+
+    Carries the server-side error class name in ``error_type`` when the
+    failure was reported by a remote :mod:`repro.service` server.
+    """
+
+    def __init__(self, message: str, error_type: str | None = None) -> None:
+        self.error_type = error_type
+        super().__init__(message)

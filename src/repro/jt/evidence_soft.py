@@ -41,6 +41,30 @@ def check_soft_evidence(tree, soft: dict[str, "np.ndarray | list[float]"]
     return out
 
 
+def split_evidence(evidence: dict) -> tuple[dict, dict]:
+    """Partition a mixed evidence mapping into (hard, soft) parts.
+
+    User-facing surfaces (CLI ``--evidence``, the service protocol) accept
+    one JSON object where a scalar value means hard evidence and a list
+    means a likelihood vector: ``{"smoke": "yes", "xray": [0.7, 0.3]}``.
+    Values of any other type are rejected here, before they can reach the
+    reduction kernels as confusing shape errors.
+    """
+    hard: dict = {}
+    soft: dict = {}
+    for name, value in evidence.items():
+        if isinstance(value, (list, tuple)):
+            soft[name] = value
+        elif isinstance(value, (str, int)) and not isinstance(value, bool):
+            hard[name] = value
+        else:
+            raise EvidenceError(
+                f"evidence for {name!r} must be a state (string/int) or a "
+                f"likelihood vector (list of floats), got {type(value).__name__}"
+            )
+    return hard, soft
+
+
 def absorb_soft_evidence(state: TreeState,
                          soft: dict[str, "np.ndarray | list[float]"]) -> None:
     """Multiply each likelihood vector into the smallest covering clique."""

@@ -1,0 +1,39 @@
+"""Inference service layer: serve compiled networks behind a long-lived process.
+
+The one-shot CLI pays junction-tree compilation and baseline calibration
+on every invocation; this package amortises both behind an asyncio server:
+
+* :class:`~repro.service.registry.ModelRegistry` — compiled-model cache
+  (LRU under a byte budget, serialized-tree warm start, resident
+  calibrated baselines);
+* :class:`~repro.service.batcher.MicroBatcher` — dynamic micro-batching of
+  concurrent single-case queries into vectorised
+  :class:`~repro.core.batch.BatchedFastBNI` calibrations;
+* :class:`~repro.service.server.InferenceServer` — JSON-lines-over-TCP
+  front end (``query``, ``query_batch``, ``mpe``, ``info``, ``health``,
+  ``stats``), stdlib only;
+* :class:`~repro.service.metrics.ServiceMetrics` — latency percentiles,
+  batch-fill histograms, cache hit rate, throughput;
+* :class:`~repro.service.client.ServiceClient` — blocking client for CLI,
+  CI smoke checks and closed-loop benchmarks.
+
+Start one with ``fastbni serve`` and query it with ``fastbni client``.
+"""
+
+from repro.service.batcher import MicroBatcher, QueryRequest
+from repro.service.client import ServiceClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import ModelEntry, ModelRegistry, resolve_network
+from repro.service.server import InferenceServer, run_server
+
+__all__ = [
+    "InferenceServer",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "QueryRequest",
+    "ServiceClient",
+    "ServiceMetrics",
+    "resolve_network",
+    "run_server",
+]

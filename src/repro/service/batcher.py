@@ -1,0 +1,267 @@
+"""Dynamic micro-batching: coalesce concurrent single-case queries.
+
+The paper's contribution — amortising one compiled junction tree across
+many evidence cases — is worth the most when *independent* requests are
+coalesced server-side: ``BatchedFastBNI`` calibrates N cases in one pass
+of the layer schedule for far less than N single passes, but only if a
+batch exists.  This module manufactures those batches from single-case
+traffic.
+
+Per network, incoming queries queue until either ``max_batch`` cases are
+waiting or the oldest has waited ``max_wait_ms`` — the classic dynamic
+batching policy (latency bound under light load, full batches under
+heavy load).  Each flush runs one vectorised ``infer_cases`` call on an
+executor thread and fans the per-case results back out to the awaiting
+futures.
+
+Two request classes bypass or degrade the vectorised path deliberately:
+
+* **soft evidence** cannot be expressed by the batched reduction, so those
+  requests run the per-case engine directly (still off the event loop);
+* an **impossible-evidence case poisons a whole vectorised flush** (the
+  batched kernels raise on the first empty message), so a failed flush is
+  retried case-by-case — only the offending request gets the error, the
+  coalesced bystanders still succeed.
+
+Requests are validated *at submit time* (unknown variables/states, bad
+likelihood vectors) so a malformed request is rejected immediately and can
+never take down a batch it would have joined.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import EvidenceError, QueryError
+from repro.jt.engine import InferenceResult
+from repro.jt.evidence import check_evidence
+from repro.jt.evidence_soft import check_soft_evidence
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import ModelEntry, ModelRegistry
+
+#: Default flush policy: small enough to keep tail latency in single-digit
+#: milliseconds on bundled networks, large enough to fill under load.
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT_MS = 2.0
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One single-case posterior query."""
+
+    evidence: dict = field(default_factory=dict)
+    targets: tuple[str, ...] = ()
+    soft_evidence: dict | None = None
+
+
+class _Pending:
+    __slots__ = ("request", "future", "enqueued")
+
+    def __init__(self, request: QueryRequest, future: asyncio.Future) -> None:
+        self.request = request
+        self.future = future
+        self.enqueued = time.monotonic()
+
+
+def _project(result: InferenceResult, want: tuple[str, ...]) -> InferenceResult:
+    """Narrow a result computed for a superset of targets down to ``want``."""
+    if not want or set(result.posteriors) == set(want):
+        return result
+    return InferenceResult(
+        posteriors={name: result.posteriors[name] for name in want},
+        log_evidence=result.log_evidence,
+        meta=result.meta,
+    )
+
+
+class MicroBatcher:
+    """Queue + flush scheduler in front of a :class:`ModelRegistry`.
+
+    All public methods must be called from one asyncio event loop; the
+    actual calibration runs on a private executor so the loop stays
+    responsive while NumPy works.
+    """
+
+    def __init__(self, registry: ModelRegistry, *,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+                 metrics: ServiceMetrics | None = None,
+                 flush_workers: int = 1) -> None:
+        if max_batch < 1:
+            raise EvidenceError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._queues: dict[str, list[_Pending]] = {}
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._inflight: set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=flush_workers, thread_name_prefix="fastbni-flush")
+        self._closed = False
+
+    async def run_blocking(self, fn):
+        """Run CPU-bound ``fn`` on the batcher's executor (shared with flushes)."""
+        return await asyncio.get_running_loop().run_in_executor(self._executor, fn)
+
+    async def get_entry(self, network: str) -> ModelEntry:
+        """Registry lookup off the event loop.
+
+        A resident hit is a dict lookup, but a cold miss compiles a
+        junction tree (seconds on large analogs) — that must never run on
+        the loop or every connection stalls behind it.
+        """
+        return await self.run_blocking(lambda: self.registry.get(network))
+
+    # ---------------------------------------------------------------- submit
+    async def submit(self, network: str, request: QueryRequest) -> InferenceResult:
+        """Answer one query, transparently coalescing it with its neighbours.
+
+        Raises the underlying :class:`~repro.errors.ReproError` subclass on
+        invalid networks/evidence — validation happens here, before the
+        request can join (and poison) a batch.
+        """
+        if self._closed:
+            raise EvidenceError("micro-batcher is closed")
+        entry = await self.get_entry(network)
+        tree = entry.engine.tree
+        check_evidence(tree, request.evidence)
+        for name in request.targets:
+            if name not in tree.net:
+                raise QueryError(f"unknown target variable {name!r}")
+        if request.soft_evidence:
+            check_soft_evidence(tree, request.soft_evidence)
+            self.registry.pin(entry)
+            try:
+                return await self._run_single(entry, request)
+            finally:
+                self.registry.unpin(entry)
+        if not request.evidence:
+            # Prior query: answered from the resident calibrated baseline.
+            if self.metrics is not None:
+                self.metrics.observe_baseline_hit()
+            return _project(
+                InferenceResult(posteriors=dict(entry.prior), log_evidence=0.0),
+                request.targets,
+            )
+
+        loop = asyncio.get_running_loop()
+        pending = _Pending(request, loop.create_future())
+        queue = self._queues.setdefault(network, [])
+        queue.append(pending)
+        if len(queue) >= self.max_batch:
+            self._flush(network)
+        elif len(queue) == 1:
+            self._timers[network] = loop.call_later(
+                self.max_wait_ms / 1e3, self._flush, network)
+        return await pending.future
+
+    # ---------------------------------------------------------------- flush
+    def _flush(self, network: str) -> None:
+        timer = self._timers.pop(network, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._queues.pop(network, [])
+        if not batch:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(network, batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    @staticmethod
+    def _union_targets(batch: list[_Pending]) -> tuple[str, ...]:
+        """Targets covering every request; () (= all variables) if any wants all."""
+        union: list[str] = []
+        seen: set[str] = set()
+        for pending in batch:
+            if not pending.request.targets:
+                return ()
+            for name in pending.request.targets:
+                if name not in seen:
+                    seen.add(name)
+                    union.append(name)
+        return tuple(union)
+
+    async def _run_batch(self, network: str, batch: list[_Pending]) -> None:
+        entry = self.registry.pin(await self.get_entry(network))
+        try:
+            engine = entry.engine
+            cases = [pending.request.evidence for pending in batch]
+            targets = self._union_targets(batch)
+            loop = asyncio.get_running_loop()
+            try:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    lambda: engine.infer_cases(cases, targets=targets))
+            except EvidenceError:
+                # An impossible case empties a message and aborts the whole
+                # vectorised pass; re-run case-by-case so only that request
+                # fails.
+                await self._run_individually(entry, batch)
+                return
+            except BaseException as exc:  # noqa: BLE001 - fan the failure out
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+                return
+            self.metrics.observe_batch(len(batch))
+            for i, pending in enumerate(batch):
+                if not pending.future.done():
+                    pending.future.set_result(
+                        _project(result.case(i), pending.request.targets))
+        finally:
+            self.registry.unpin(entry)
+
+    async def _run_individually(self, entry: ModelEntry,
+                                batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics.observe_fallback(len(batch))
+        for pending in batch:
+            request = pending.request
+            try:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    lambda req=request: entry.engine.infer(
+                        req.evidence, req.targets,
+                        soft_evidence=req.soft_evidence))
+            # BaseException, not ReproError: an unexpected failure
+            # (MemoryError, a shutdown executor, cancellation) must still
+            # resolve this future, or its client waits forever.
+            except BaseException as exc:  # noqa: BLE001
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            else:
+                if not pending.future.done():
+                    pending.future.set_result(result)
+
+    async def _run_single(self, entry: ModelEntry,
+                          request: QueryRequest) -> InferenceResult:
+        """Per-case path for requests the vectorised kernels cannot express."""
+        self.metrics.observe_fallback()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: entry.engine.infer(request.evidence, request.targets,
+                                       soft_evidence=request.soft_evidence))
+
+    # ------------------------------------------------------------- lifecycle
+    async def drain(self) -> None:
+        """Flush every queue and wait for all in-flight batches to finish."""
+        for network in list(self._queues):
+            self._flush(network)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,110 @@
+"""Blocking JSON-lines client for the inference server.
+
+Stdlib-only (``socket``), one request per call, suitable for CLI use,
+smoke tests and closed-loop benchmarking.  Concurrency-hungry callers
+(the benchmark's open-connection workers, the test suite) speak the
+protocol directly over ``asyncio.open_connection`` instead — the wire
+format is the same newline-delimited JSON documented in
+:mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import ServiceError
+from repro.service.server import DEFAULT_PORT
+
+
+class ServiceClient:
+    """One TCP connection to a running inference server.
+
+    ``connect_retry_s`` keeps retrying the initial connect for that many
+    seconds — handy when the server is being started in parallel (CI smoke
+    jobs, benchmarks).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                 timeout: float = 30.0, connect_retry_s: float = 0.0) -> None:
+        self.host = host
+        self.port = port
+        self._next_id = 0
+        deadline = time.monotonic() + connect_retry_s
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port),
+                                                      timeout=timeout)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"cannot connect to inference server at {host}:{port}"
+                    ) from None
+                time.sleep(0.1)
+        self._file = self._sock.makefile("rwb")
+
+    # ----------------------------------------------------------------- wire
+    def request(self, op: str, **fields) -> dict:
+        """Send one request; return the full response envelope."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {self._next_id} (pipelined requests need the async API)"
+            )
+        return response
+
+    def call(self, op: str, **fields) -> dict:
+        """Send one request; return ``result`` or raise :class:`ServiceError`."""
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(error.get("message", "unknown server error"),
+                               error_type=error.get("type"))
+        return response["result"]
+
+    # ------------------------------------------------------------ operations
+    def query(self, network: str, evidence: dict | None = None,
+              targets=None, soft_evidence: dict | None = None) -> dict:
+        return self.call("query", network=network, evidence=evidence,
+                         targets=list(targets) if targets else None,
+                         soft_evidence=soft_evidence)
+
+    def query_batch(self, network: str, cases: list, targets=None) -> dict:
+        return self.call("query_batch", network=network, cases=cases,
+                         targets=list(targets) if targets else None)
+
+    def mpe(self, network: str, evidence: dict | None = None) -> dict:
+        return self.call("mpe", network=network, evidence=evidence)
+
+    def info(self, network: str) -> dict:
+        return self.call("info", network=network)
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,187 @@
+"""Serving metrics: latency percentiles, batch fill, cache hits, throughput.
+
+The counters quantify exactly the claims the service layer makes:
+
+* **latency percentiles** (p50/p90/p99 over a sliding reservoir) — what a
+  caller experiences, including micro-batching queue wait;
+* **batch-fill histogram** — whether dynamic batching actually coalesces
+  requests (mean fill > 1) or degenerates to per-request flushes;
+* **cache hit rate** — how often the model registry serves a resident
+  compiled tree instead of paying compilation;
+* **throughput** — requests/s over a recent window plus lifetime.
+
+Everything is plain counters under one lock — safe to update from the
+event loop and the batcher's executor threads alike — and exported as one
+JSON-ready dict by :meth:`ServiceMetrics.snapshot` (the server's ``stats``
+endpoint).  The clock is injectable so tests can drive time explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+#: Upper edges of the batch-fill histogram buckets (le-style, like
+#: Prometheus): a flush of k cases lands in the first bucket with edge >= k.
+FILL_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _fill_bucket(fill: int) -> str:
+    for edge in FILL_BUCKETS:
+        if fill <= edge:
+            return f"le_{edge}"
+    return "inf"
+
+
+class ServiceMetrics:
+    """Aggregated counters for one server (or one test harness)."""
+
+    def __init__(self, *, latency_window: int = 4096,
+                 rate_window_s: float = 60.0,
+                 clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._start = clock()
+        self._rate_window_s = rate_window_s
+        #: Sliding reservoir of the most recent request latencies (seconds).
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        #: Completion timestamps inside the throughput window.
+        self._timestamps: deque[float] = deque()
+        self._requests = 0
+        self._errors = 0
+        self._by_op: Counter[str] = Counter()
+        self._batches = 0
+        self._batched_cases = 0
+        self._max_fill = 0
+        self._fill_hist: Counter[str] = Counter()
+        self._fallback_cases = 0
+        self._explicit_batches = 0
+        self._explicit_cases = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._baseline_hits = 0
+
+    # ------------------------------------------------------------ observers
+    def observe_request(self, op: str, latency_s: float, ok: bool = True) -> None:
+        """One finished request (any endpoint), with its end-to-end latency."""
+        with self._lock:
+            now = self._clock()
+            self._requests += 1
+            self._by_op[op] += 1
+            if not ok:
+                self._errors += 1
+            self._latencies.append(latency_s)
+            self._timestamps.append(now)
+            self._trim(now)
+
+    def observe_batch(self, fill: int) -> None:
+        """One vectorised flush that calibrated ``fill`` coalesced cases."""
+        with self._lock:
+            self._batches += 1
+            self._batched_cases += fill
+            self._max_fill = max(self._max_fill, fill)
+            self._fill_hist[_fill_bucket(fill)] += 1
+
+    def observe_fallback(self, cases: int = 1) -> None:
+        """Cases served by the per-case path (soft evidence / poisoned batch)."""
+        with self._lock:
+            self._fallback_cases += cases
+
+    def observe_explicit_batch(self, cases: int) -> None:
+        """One client-assembled ``query_batch`` call.
+
+        Tracked apart from :meth:`observe_batch` so ``mean_fill`` measures
+        only what the *micro-batcher* coalesced — client-side batching must
+        not be able to fake a healthy coalescing signal.
+        """
+        with self._lock:
+            self._explicit_batches += 1
+            self._explicit_cases += cases
+
+    def observe_cache(self, hit: bool) -> None:
+        """One model-registry lookup: resident (hit) or loaded+compiled (miss)."""
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def observe_baseline_hit(self) -> None:
+        """A no-evidence query answered from the resident calibrated baseline."""
+        with self._lock:
+            self._baseline_hits += 1
+
+    # ------------------------------------------------------------- summaries
+    def _trim(self, now: float) -> None:
+        cutoff = now - self._rate_window_s
+        while self._timestamps and self._timestamps[0] < cutoff:
+            self._timestamps.popleft()
+
+    def percentile(self, p: float) -> float:
+        """The p-th latency percentile (seconds) over the reservoir; 0 if empty."""
+        with self._lock:
+            data = sorted(self._latencies)
+        if not data:
+            return 0.0
+        rank = max(0, min(len(data) - 1, round(p / 100.0 * (len(data) - 1))))
+        return data[rank]
+
+    def mean_batch_fill(self) -> float:
+        """Cases per vectorised flush; > 1 means coalescing is happening."""
+        with self._lock:
+            return self._batched_cases / self._batches if self._batches else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of every counter (the ``stats`` endpoint body)."""
+        with self._lock:
+            now = self._clock()
+            self._trim(now)
+            uptime = max(now - self._start, 1e-9)
+            window = min(self._rate_window_s, uptime)
+            data = sorted(self._latencies)
+
+            def pct(p: float) -> float:
+                if not data:
+                    return 0.0
+                rank = max(0, min(len(data) - 1, round(p / 100.0 * (len(data) - 1))))
+                return data[rank]
+
+            lookups = self._cache_hits + self._cache_misses
+            return {
+                "uptime_s": uptime,
+                "requests": {
+                    "total": self._requests,
+                    "errors": self._errors,
+                    "by_op": dict(self._by_op),
+                },
+                "throughput_rps": {
+                    "window": len(self._timestamps) / window,
+                    "lifetime": self._requests / uptime,
+                },
+                "latency_ms": {
+                    "count": len(data),
+                    "p50": pct(50) * 1e3,
+                    "p90": pct(90) * 1e3,
+                    "p99": pct(99) * 1e3,
+                    "mean": (sum(data) / len(data) * 1e3) if data else 0.0,
+                    "max": (data[-1] * 1e3) if data else 0.0,
+                },
+                "batches": {
+                    "count": self._batches,
+                    "cases": self._batched_cases,
+                    "mean_fill": (self._batched_cases / self._batches
+                                  if self._batches else 0.0),
+                    "max_fill": self._max_fill,
+                    "fill_hist": dict(self._fill_hist),
+                    "fallback_cases": self._fallback_cases,
+                    "explicit_count": self._explicit_batches,
+                    "explicit_cases": self._explicit_cases,
+                },
+                "model_cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                    "baseline_hits": self._baseline_hits,
+                },
+            }

@@ -1,0 +1,282 @@
+"""Compiled-model registry: load once, keep hot, evict under a byte budget.
+
+A serving process answers many queries against few networks, so the
+expensive, query-independent work — parsing the network, compiling the
+junction tree, multiplying CPTs into clique tables, building index maps,
+calibrating the no-evidence baseline — is paid once per model and kept
+resident.  Entries are LRU-ordered and evicted when the estimated resident
+bytes exceed the registry budget, so a long-lived server can rotate
+through more models than fit in memory.
+
+Three name forms resolve, in order:
+
+* a bundled dataset name (``asia``, ``cancer``, ``sprinkler``);
+* a paper-network analog name (``hailfinder`` … ``munin4``), built at the
+  laptop-feasible ``bench`` scale;
+* a filesystem path to a ``.bif`` file.
+
+With a ``cache_dir``, compiled tree *structure* is persisted through
+:mod:`repro.jt.serialize` and warm-started on the next load — potentials
+are always rebuilt from the network's CPTs, so a stale cache can never
+serve stale parameters, and any unreadable/incompatible cache file falls
+back to a fresh compile.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.bn.repository import resolve_network
+from repro.core.batch import BatchedFastBNI
+from repro.errors import NetworkError, ReproError
+from repro.jt.calibrate import calibrate
+from repro.jt.query import all_posteriors
+from repro.jt.serialize import load_tree, save_tree
+from repro.jt.structure import JunctionTree, TreeState
+from repro.service.metrics import ServiceMetrics
+
+#: Default resident-set budget: generous for the bundled/bench networks,
+#: small enough that a laptop serving many models actually rotates.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _cache_key(name: str) -> str:
+    """Filesystem-safe cache-file stem for a model name (may be a path)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") or "model"
+
+
+@dataclass
+class ModelEntry:
+    """One resident model: network, engine, and calibrated baseline."""
+
+    name: str
+    net: BayesianNetwork
+    engine: BatchedFastBNI
+    #: No-evidence calibrated tree state, kept resident so prior queries
+    #: (and the ``info`` endpoint) never re-propagate.
+    baseline: TreeState
+    #: Prior marginals read off the baseline, ``{var: (card,) array}``.
+    prior: dict[str, np.ndarray]
+    #: Estimated resident footprint (tables + maps + baseline), for LRU.
+    resident_bytes: int
+    #: Whether the junction tree came from the serialized warm-start cache.
+    from_cache: bool = False
+    meta: dict[str, float] = field(default_factory=dict)
+    #: Number of in-flight computations using this entry's engine (see
+    #: :meth:`ModelRegistry.lease`); eviction defers the engine close until
+    #: the last lease is released.
+    pins: int = 0
+    #: Set when the entry was evicted while pinned.
+    retired: bool = False
+
+
+class ModelRegistry:
+    """LRU registry of compiled, baseline-calibrated inference engines.
+
+    ``engine_options`` are forwarded to :class:`BatchedFastBNI`; the
+    default is the sequential vectorised engine (``mode="seq"``), which is
+    the right serving configuration for small/medium models — throughput
+    comes from micro-batching, not per-query worker pools.
+    """
+
+    def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES,
+                 cache_dir: str | Path | None = None,
+                 metrics: ServiceMetrics | None = None,
+                 **engine_options) -> None:
+        if max_bytes <= 0:
+            raise NetworkError(f"registry byte budget must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.metrics = metrics
+        self.engine_options = {"mode": "seq", **engine_options}
+        self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._evictions = 0
+        self._closed = False
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, name: str) -> ModelEntry:
+        """Resident entry for ``name``, loading (and possibly evicting) on miss.
+
+        The compile happens *outside* the registry lock — a cold load can
+        take seconds and must not block concurrent lookups of resident
+        models.  Two threads racing on the same cold name may both compile;
+        the first to register wins and the loser's engine is closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise NetworkError("model registry is closed")
+            entry = self._entries.get(name)
+            if entry is not None:
+                self._entries.move_to_end(name)
+                if self.metrics is not None:
+                    self.metrics.observe_cache(hit=True)
+                return entry
+        loaded = self._load(name)
+        with self._lock:
+            if self._closed:
+                loaded.engine.close()
+                raise NetworkError("model registry is closed")
+            existing = self._entries.get(name)
+            if existing is not None:
+                loaded.engine.close()
+                self._entries.move_to_end(name)
+                return existing
+            if self.metrics is not None:
+                self.metrics.observe_cache(hit=False)
+            self._entries[name] = loaded
+            self._evict_over_budget()
+            return loaded
+
+    def pin(self, entry: ModelEntry) -> ModelEntry:
+        """Hold ``entry``'s engine open across a computation (see lease)."""
+        with self._lock:
+            entry.pins += 1
+        return entry
+
+    def unpin(self, entry: ModelEntry) -> None:
+        with self._lock:
+            entry.pins -= 1
+            if entry.retired and entry.pins == 0:
+                entry.engine.close()
+
+    @contextmanager
+    def lease(self, name: str):
+        """``get`` + pin: the engine stays usable even if evicted meanwhile.
+
+        Eviction under the byte budget must not close an engine with an
+        in-flight batch calibration (closing shuts its backend pool);
+        callers that run engine work off-thread wrap it in a lease so a
+        concurrent eviction merely *retires* the entry and the close
+        happens when the last lease is released.
+        """
+        entry = self.pin(self.get(name))
+        try:
+            yield entry
+        finally:
+            self.unpin(entry)
+
+    def loaded(self) -> tuple[str, ...]:
+        """Names of resident models, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(e.resident_bytes for e in self._entries.values())
+
+    # --------------------------------------------------------------- loading
+    def _tree_cache_path(self, name: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{_cache_key(name)}.jt.json"
+
+    def _load(self, name: str) -> ModelEntry:
+        net = resolve_network(name)
+        tree: JunctionTree | None = None
+        from_cache = False
+        cache_path = self._tree_cache_path(name)
+        if cache_path is not None and cache_path.exists():
+            try:
+                tree = load_tree(cache_path, net)
+                from_cache = True
+            except (ReproError, OSError, ValueError):
+                tree = None  # incompatible/corrupt cache: recompile below
+        engine = BatchedFastBNI(net, tree=tree, **self.engine_options)
+        engine.prepare_baseline()
+        if cache_path is not None and not from_cache:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            save_tree(engine.tree, cache_path)
+
+        baseline = engine.tree.fresh_state()
+        calibrate(baseline, engine.schedule)
+        prior = all_posteriors(baseline)
+
+        return ModelEntry(
+            name=name,
+            net=net,
+            engine=engine,
+            baseline=baseline,
+            prior=prior,
+            resident_bytes=self._estimate_bytes(engine, prior),
+            from_cache=from_cache,
+            meta={"variables": float(net.num_variables),
+                  **{k: float(v) for k, v in engine.stats().items()}},
+        )
+
+    @staticmethod
+    def _estimate_bytes(engine: BatchedFastBNI, prior: dict[str, np.ndarray]) -> int:
+        """Resident footprint: baseline tables + base cliques + index maps."""
+        stats = engine.tree.stats()
+        table_entries = int(stats["total_clique_size"] + stats["total_separator_size"])
+        n = 8 * table_entries                        # baseline TreeState
+        n += 8 * int(stats["total_clique_size"])     # cached CPT products
+        n += 8 * int(engine._map_cache_entries)      # int64 index maps
+        n += sum(8 * v.size for v in prior.values())
+        return n
+
+    # -------------------------------------------------------------- eviction
+    def _retire(self, entry: ModelEntry) -> None:
+        """Close the engine now, or defer to the last unpin if it's in use."""
+        entry.retired = True
+        if entry.pins == 0:
+            entry.engine.close()
+
+    def _evict_over_budget(self) -> None:
+        # Never evict the most-recent entry: a model larger than the whole
+        # budget must still be servable while it is the one in use.
+        while (len(self._entries) > 1
+               and sum(e.resident_bytes for e in self._entries.values())
+               > self.max_bytes):
+            _, entry = self._entries.popitem(last=False)
+            self._retire(entry)
+            self._evictions += 1
+
+    def evict(self, name: str | None = None) -> str | None:
+        """Evict ``name`` (or the LRU entry); returns the evicted name."""
+        with self._lock:
+            if name is None:
+                if not self._entries:
+                    return None
+                name, entry = self._entries.popitem(last=False)
+            else:
+                entry = self._entries.pop(name, None)
+                if entry is None:
+                    return None
+            self._retire(entry)
+            self._evictions += 1
+            return name
+
+    # ------------------------------------------------------------- lifecycle
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "loaded": list(self._entries),
+                "resident_bytes": sum(e.resident_bytes
+                                      for e in self._entries.values()),
+                "max_bytes": self.max_bytes,
+                "evictions": self._evictions,
+                "warm_starts": sum(1 for e in self._entries.values()
+                                   if e.from_cache),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            for entry in self._entries.values():
+                entry.engine.close()
+            self._entries.clear()
+            self._closed = True
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,358 @@
+"""Asyncio inference server: JSON-lines over TCP, stdlib only.
+
+One long-lived process keeps compiled models resident (the registry) and
+coalesces concurrent queries (the micro-batcher).  The wire protocol is a
+newline-delimited JSON request/response pair per operation:
+
+    → {"id": 1, "op": "query", "network": "asia",
+       "evidence": {"smoke": "yes", "xray": [0.7, 0.3]},
+       "targets": ["lung"]}
+    ← {"id": 1, "ok": true,
+       "result": {"posteriors": {"lung": [0.1, 0.9]},
+                  "log_evidence": -1.23, "served_by": "batch"}}
+
+Scalar evidence values are hard observations, list values are soft
+(likelihood) evidence.  Requests on one connection are handled
+*concurrently* (each line spawns a task; responses carry the request
+``id``), so a single client can pipeline requests — which is exactly what
+lets the micro-batcher coalesce them.
+
+Operations: ``query`` (single case, micro-batched), ``query_batch``
+(explicit case list, one vectorised pass), ``mpe`` (most probable
+explanation), ``info`` (network + tree statistics), ``health`` and
+``stats`` (serving metrics snapshot).
+
+Failures map onto the :mod:`repro.errors` hierarchy: the response's
+``error.type`` is the exception class name (``EvidenceError``,
+``NetworkError``, ...), so programmatic clients can branch without string
+matching; malformed JSON reports as ``ParseError``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.errors import EvidenceError, ParseError, QueryError, ReproError
+from repro.jt.evidence import check_evidence
+from repro.jt.evidence_soft import split_evidence
+from repro.service.batcher import (DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS,
+                                   MicroBatcher, QueryRequest)
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import ModelRegistry
+
+DEFAULT_PORT = 7421
+
+#: Per-line read limit: a query_batch of a few thousand cases fits easily.
+_STREAM_LIMIT = 16 * 1024 * 1024
+
+
+def _jsonable(obj):
+    """Recursively convert numpy containers to plain JSON types."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def _require_mapping(value, what: str) -> dict:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise EvidenceError(f"{what} must be a JSON object, got "
+                            f"{type(value).__name__}")
+    return value
+
+
+def _parse_targets(value) -> tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    if (isinstance(value, list)
+            and all(isinstance(t, str) for t in value)):
+        return tuple(value)
+    raise QueryError("targets must be a list of variable names")
+
+
+class InferenceServer:
+    """TCP front end over a :class:`ModelRegistry` + :class:`MicroBatcher`.
+
+    Constructing the server builds (or adopts) the registry and batcher;
+    :meth:`start` binds the socket (``port=0`` picks an ephemeral port and
+    updates ``self.port``), :meth:`serve_forever` blocks until cancelled,
+    :meth:`stop` drains the batcher and closes everything this server owns.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                 registry: ModelRegistry | None = None,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+                 metrics: ServiceMetrics | None = None,
+                 **registry_options) -> None:
+        self.host = host
+        self.port = port
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._owns_registry = registry is None
+        self.registry = (registry if registry is not None
+                         else ModelRegistry(metrics=self.metrics,
+                                            **registry_options))
+        self.batcher = MicroBatcher(self.registry, max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms,
+                                    metrics=self.metrics)
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------- lifecycle
+    def preload(self, names) -> None:
+        """Compile models before accepting traffic (cold-start avoidance)."""
+        for name in names:
+            self.registry.get(name)
+
+    async def start(self) -> "InferenceServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_STREAM_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.monotonic()
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Closing the listener leaves established connections open; close
+        # them so their handler tasks exit on EOF instead of cancellation.
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        await self.batcher.aclose()
+        if self._owns_registry:
+            self.registry.close()
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, write_lock, {
+                        "id": None, "ok": False,
+                        "error": {"type": "ParseError",
+                                  "message": "request line too long"},
+                    })
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                     payload: dict) -> None:
+        data = json.dumps(payload, allow_nan=False).encode() + b"\n"
+        async with lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to deliver the result to
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           lock: asyncio.Lock) -> None:
+        request_id = None
+        op = "invalid"
+        start = time.monotonic()
+        ok = False
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ParseError(f"request is not valid JSON: {exc}") from None
+            if not isinstance(request, dict):
+                raise ParseError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "query")
+            result = await self._dispatch(op, request)
+            ok = True
+            payload = {"id": request_id, "ok": True, "result": _jsonable(result)}
+        except ReproError as exc:
+            payload = {"id": request_id, "ok": False,
+                       "error": {"type": type(exc).__name__,
+                                 "message": str(exc)}}
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            payload = {"id": request_id, "ok": False,
+                       "error": {"type": "InternalError",
+                                 "message": f"{type(exc).__name__}: {exc}"}}
+        self.metrics.observe_request(op, time.monotonic() - start, ok=ok)
+        await self._write(writer, lock, payload)
+
+    # --------------------------------------------------------------- dispatch
+    async def _dispatch(self, op: str, request: dict) -> dict:
+        if op == "health":
+            return self._op_health()
+        if op == "stats":
+            return self._op_stats()
+        network = request.get("network")
+        if not isinstance(network, str) or not network:
+            raise QueryError(f"op {op!r} requires a 'network' string field")
+        if op == "query":
+            return await self._op_query(network, request)
+        if op == "query_batch":
+            return await self._op_query_batch(network, request)
+        if op == "mpe":
+            return await self._op_mpe(network, request)
+        if op == "info":
+            return await self._op_info(network)
+        raise QueryError(
+            f"unknown op {op!r}; expected one of query, query_batch, mpe, "
+            f"info, health, stats"
+        )
+
+    async def _op_query(self, network: str, request: dict) -> dict:
+        hard, soft = split_evidence(
+            _require_mapping(request.get("evidence"), "evidence"))
+        explicit_soft = _require_mapping(request.get("soft_evidence"),
+                                         "soft_evidence")
+        soft.update(explicit_soft)
+        targets = _parse_targets(request.get("targets"))
+        query = QueryRequest(evidence=hard, targets=targets,
+                             soft_evidence=soft or None)
+        result = await self.batcher.submit(network, query)
+        return {
+            "posteriors": result.posteriors,
+            "log_evidence": result.log_evidence,
+            "served_by": ("single" if soft
+                          else "baseline" if not hard else "batch"),
+        }
+
+    async def _op_query_batch(self, network: str, request: dict) -> dict:
+        cases = request.get("cases")
+        if not isinstance(cases, list) or not cases:
+            raise QueryError("query_batch requires a non-empty 'cases' list "
+                             "of evidence objects")
+        entry = self.registry.pin(await self.batcher.get_entry(network))
+        try:
+            parsed = []
+            for i, case in enumerate(cases):
+                hard, soft = split_evidence(_require_mapping(case, f"cases[{i}]"))
+                if soft:
+                    raise EvidenceError(
+                        f"cases[{i}] carries soft evidence; the vectorised "
+                        "batch path is hard-evidence only — send it as a "
+                        "single query"
+                    )
+                check_evidence(entry.engine.tree, hard)
+                parsed.append(hard)
+            targets = _parse_targets(request.get("targets"))
+            result = await self.batcher.run_blocking(
+                lambda: entry.engine.infer_cases(parsed, targets=targets))
+            self.metrics.observe_explicit_batch(len(parsed))
+        finally:
+            self.registry.unpin(entry)
+        return {
+            "count": len(result),
+            "cases": [{"posteriors": result.case(i).posteriors,
+                       "log_evidence": result.case(i).log_evidence}
+                      for i in range(len(result))],
+        }
+
+    async def _op_mpe(self, network: str, request: dict) -> dict:
+        from repro.jt.mpe import most_probable_explanation
+
+        hard, soft = split_evidence(
+            _require_mapping(request.get("evidence"), "evidence"))
+        if soft:
+            raise EvidenceError("mpe supports hard evidence only")
+        entry = await self.batcher.get_entry(network)
+        check_evidence(entry.engine.tree, hard)
+        assignment, log_p = await self.batcher.run_blocking(
+            lambda: most_probable_explanation(entry.engine.tree, hard))
+        return {
+            "assignment": {name: entry.net.variable(name).states[idx]
+                           for name, idx in assignment.items()},
+            "log_probability": log_p,
+        }
+
+    async def _op_info(self, network: str) -> dict:
+        entry = await self.batcher.get_entry(network)
+        return {
+            "network": entry.name,
+            "variables": entry.net.num_variables,
+            "tree": entry.engine.stats(),
+            "resident_bytes": entry.resident_bytes,
+            "compiled_from_cache": entry.from_cache,
+        }
+
+    def _op_health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started,
+            "models": list(self.registry.loaded()),
+        }
+
+    def _op_stats(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["registry"] = self.registry.stats()
+        snapshot["batcher"] = {
+            "max_batch": self.batcher.max_batch,
+            "max_wait_ms": self.batcher.max_wait_ms,
+        }
+        return snapshot
+
+
+async def run_server(host: str, port: int, *, preload=(),
+                     on_ready=None, **options) -> None:
+    """Start a server and serve until cancelled (the ``fastbni serve`` body)."""
+    server = InferenceServer(host, port, **options)
+    server.preload(preload)
+    await server.start()
+    if on_ready is not None:
+        on_ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

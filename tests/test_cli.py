@@ -13,7 +13,7 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
             "table1", "scaling", "granularity", "root", "primitives",
-            "overhead", "heuristics", "info", "query",
+            "overhead", "heuristics", "info", "query", "serve", "client",
         }
 
     def test_requires_subcommand(self):
@@ -28,6 +28,22 @@ class TestParser:
     def test_invalid_network_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scaling", "--network", "alarm"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7421
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.mode == "seq"
+
+    def test_client_defaults(self):
+        args = build_parser().parse_args(["client", "asia"])
+        assert args.op == "query"
+        assert args.port == 7421
+        assert not args.json
+        # health/stats need no network argument
+        args = build_parser().parse_args(["client", "--op", "health"])
+        assert args.network is None
 
 
 class TestCommands:
@@ -58,3 +74,85 @@ class TestCommands:
                    "--targets", "Rain", "--workers", "2"])
         assert rc == 0
         assert "P(Rain | e)" in capsys.readouterr().out
+
+    def test_query_soft_evidence_end_to_end(self, capsys):
+        """A list value in --evidence is a likelihood vector (soft evidence)."""
+        from repro.bn.datasets import load_dataset
+        from repro.core import FastBNI
+
+        rc = main([
+            "query", "asia",
+            "--evidence", json.dumps({"smoke": "yes", "xray": [0.7, 0.3]}),
+            "--targets", "lung",
+            "--mode", "seq", "--workers", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        with FastBNI(load_dataset("asia"), mode="seq") as engine:
+            want = engine.infer({"smoke": "yes"},
+                                soft_evidence={"xray": [0.7, 0.3]})
+        assert f"yes={want.posteriors['lung'][0]:.4f}" in out
+        assert f"{want.log_evidence:.6f}" in out
+
+    def test_query_malformed_likelihood_reports_clearly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "asia",
+                  "--evidence", '{"xray": [0.7]}',
+                  "--mode", "seq", "--workers", "1"])
+        message = str(excinfo.value)
+        assert "error" in message
+        assert "likelihood" in message and "xray" in message
+
+    def test_query_bad_evidence_type_reports_clearly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "asia",
+                  "--evidence", '{"xray": 1.5}',
+                  "--mode", "seq", "--workers", "1"])
+        assert "likelihood vector" in str(excinfo.value)
+
+    def test_query_invalid_json_reports_clearly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "asia", "--evidence", "{not json",
+                  "--mode", "seq", "--workers", "1"])
+        assert "not valid JSON" in str(excinfo.value)
+
+    def test_query_non_object_evidence_reports_clearly(self):
+        for bad in ('"yes"', "42", '["smoke"]'):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["query", "asia", "--evidence", bad,
+                      "--mode", "seq", "--workers", "1"])
+            assert "must be a JSON object" in str(excinfo.value)
+
+    def test_query_accepts_bif_path(self, capsys, tmp_path):
+        """Local query/info resolve .bif paths, same as the service."""
+        from repro.bn import io_bif
+        from repro.bn.datasets import load_dataset
+
+        path = tmp_path / "asia_copy.bif"
+        io_bif.dump(load_dataset("asia"), path)
+        rc = main(["query", str(path), "--evidence", '{"smoke": "yes"}',
+                   "--targets", "lung", "--mode", "seq", "--workers", "1"])
+        assert rc == 0
+        assert "P(lung | e)" in capsys.readouterr().out
+
+    def test_unknown_network_reports_clearly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["info", "not-a-network"])
+        assert "unknown network" in str(excinfo.value)
+
+    def test_query_batch_with_soft_evidence_falls_back(self, capsys):
+        """A batched evidence list may mix hard and soft cases."""
+        rc = main([
+            "query", "asia",
+            "--evidence", json.dumps([
+                {"smoke": "yes"},
+                {"smoke": "no", "xray": [0.7, 0.3]},
+            ]),
+            "--targets", "lung",
+            "--mode", "seq", "--workers", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batched 2 cases" in out
+        assert "per-case fallback" in out
+        assert "case 1" in out

@@ -1,0 +1,95 @@
+"""Junction-tree serialization round-trips against the bundled networks.
+
+The warm-start path of the service registry depends on :mod:`repro.jt.
+serialize` faithfully restoring compiled structure for every shipped
+network, and on hard rejection of incompatible files — covered here across
+all three bundled ``.bif`` datasets (the pre-existing suite only exercised
+``asia``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bn.datasets import BUNDLED, load_dataset
+from repro.errors import JunctionTreeError
+from repro.jt.calibrate import calibrate
+from repro.jt.query import all_posteriors, log_evidence
+from repro.jt.serialize import (FORMAT_VERSION, load_tree, save_tree,
+                                tree_from_dict, tree_to_dict)
+from repro.jt.structure import compile_junction_tree
+
+
+def _structure(tree) -> tuple:
+    return (
+        tree.root,
+        [(c.id, c.domain.names, tuple(c.cpt_indices)) for c in tree.cliques],
+        [(s.id, s.a, s.b, s.domain.names) for s in tree.separators],
+    )
+
+
+@pytest.mark.parametrize("name", BUNDLED)
+def test_file_roundtrip_preserves_structure(name, tmp_path):
+    net = load_dataset(name)
+    tree = compile_junction_tree(net)
+    tree.set_root(tree.num_cliques - 1)  # non-default root must survive too
+    path = tmp_path / f"{name}.jt.json"
+    save_tree(tree, path)
+    restored = load_tree(path, net)
+    assert _structure(restored) == _structure(tree)
+
+
+@pytest.mark.parametrize("name", BUNDLED)
+def test_restored_tree_infers_identically(name, tmp_path):
+    net = load_dataset(name)
+    tree = compile_junction_tree(net)
+    path = tmp_path / f"{name}.jt.json"
+    save_tree(tree, path)
+    restored = load_tree(path, net)
+
+    evidence = {net.variable_names[0]: 0}
+    results = []
+    for t in (tree, restored):
+        state = t.fresh_state()
+        from repro.jt.evidence import absorb_evidence
+
+        absorb_evidence(state, evidence)
+        calibrate(state)
+        results.append((all_posteriors(state), log_evidence(state)))
+    (posts_a, le_a), (posts_b, le_b) = results
+    assert le_b == pytest.approx(le_a, abs=1e-12)
+    for var in net.variable_names:
+        np.testing.assert_allclose(posts_b[var], posts_a[var], atol=1e-12)
+
+
+@pytest.mark.parametrize("name", BUNDLED)
+def test_version_mismatch_rejected_on_file(name, tmp_path):
+    net = load_dataset(name)
+    path = tmp_path / f"{name}.jt.json"
+    save_tree(compile_junction_tree(net), path)
+    data = json.loads(path.read_text())
+    assert data["version"] == FORMAT_VERSION
+    data["version"] = FORMAT_VERSION + 1
+    path.write_text(json.dumps(data))
+    with pytest.raises(JunctionTreeError, match="version"):
+        load_tree(path, net)
+
+
+def test_cross_network_file_rejected(tmp_path):
+    cancer = load_dataset("cancer")
+    sprinkler = load_dataset("sprinkler")
+    path = tmp_path / "cancer.jt.json"
+    save_tree(compile_junction_tree(cancer), path)
+    with pytest.raises(JunctionTreeError):
+        load_tree(path, sprinkler)
+
+
+def test_missing_field_rejected():
+    asia = load_dataset("asia")
+    data = tree_to_dict(compile_junction_tree(asia))
+    del data["cliques"][0]["cpts"]
+    with pytest.raises(JunctionTreeError, match="missing"):
+        tree_from_dict(data, asia)
