@@ -28,6 +28,7 @@ from repro.bn.generators import (
 )
 from repro.bn.repository import PAPER_NETWORKS, load_network
 from repro.bn.sampling import TestCase, forward_sample, generate_test_cases
+from repro.approx import ApproxBNI, QueryPlanner
 from repro.core import BatchedFastBNI, FastBNI, FastBNIConfig
 from repro.jt import JunctionTreeEngine
 from repro.jt.engine import BatchInferenceResult, InferenceResult
@@ -39,6 +40,8 @@ __all__ = [
     "CPT",
     "BayesianNetwork",
     "FastBNI",
+    "ApproxBNI",
+    "QueryPlanner",
     "BatchedFastBNI",
     "FastBNIConfig",
     "JunctionTreeEngine",

@@ -1,0 +1,43 @@
+"""Approximate inference subsystem: vectorised samplers + query planner.
+
+Fast-BNI's exact engines are exponential in induced treewidth; this
+package is the service's second engine class for the networks exact
+compilation cannot afford:
+
+* :mod:`repro.approx.lw` — batched likelihood weighting: all N particles
+  advance together as ``(N,)`` state columns, one CPT gather per node, with
+  mergeable accumulators, effective-sample-size and standard-error output;
+* :mod:`repro.approx.gibbs` — vectorised multi-chain Gibbs with
+  precomputed Markov-blanket index maps, burn-in, and split-R̂ convergence
+  diagnostics;
+* :mod:`repro.approx.engine` — :class:`ApproxBNI`, the ``FastBNI``-shaped
+  engine with adaptive sample-count escalation (double until the standard
+  errors clear the tolerance or the budget runs out);
+* :mod:`repro.approx.planner` — :class:`QueryPlanner`, the cost model that
+  prices exact compilation via a min-fill fill-in simulation and routes
+  each network to ``exact``, ``approx``, or decides under ``auto``.
+"""
+
+from repro.approx.engine import (ApproxBatchResult, ApproxBNI,
+                                 ApproxInferenceResult)
+from repro.approx.gibbs import GibbsSampler, compile_blankets
+from repro.approx.lw import LWAccumulator, sample_population
+from repro.approx.planner import (DEFAULT_MAX_EXACT_BYTES,
+                                  DEFAULT_REFUSE_EXACT_BYTES, POLICIES,
+                                  PlanDecision, QueryPlanner, estimate_jt_cost)
+
+__all__ = [
+    "ApproxBNI",
+    "ApproxBatchResult",
+    "ApproxInferenceResult",
+    "DEFAULT_MAX_EXACT_BYTES",
+    "DEFAULT_REFUSE_EXACT_BYTES",
+    "GibbsSampler",
+    "LWAccumulator",
+    "POLICIES",
+    "PlanDecision",
+    "QueryPlanner",
+    "compile_blankets",
+    "estimate_jt_cost",
+    "sample_population",
+]

@@ -1,0 +1,114 @@
+"""Cost-based exact/approx query planner.
+
+Exact junction-tree calibration is exponential in induced width: one dense
+high-treewidth network can stall a serving process (or exhaust its memory)
+at *compile* time, before a single query runs.  The planner prices exact
+inference up front — a min-fill fill-in simulation over the moral graph
+(:func:`repro.graph.treewidth.fill_in_cost`) gives the induced width and an
+estimated total clique-table byte count without building any potential —
+and routes each network:
+
+* ``policy="exact"``   — always exact, but *refuse* (raise
+  :class:`~repro.errors.PlannerError`) when the estimate exceeds the hard
+  ``refuse_exact_bytes`` cap rather than thrash or OOM;
+* ``policy="approx"``  — always the sampling engine;
+* ``policy="auto"``    — exact while the estimate fits ``max_exact_bytes``,
+  approximate beyond it (the serving default).
+
+The estimate is an upper bound (elimination cliques before merging), which
+errs toward approximation — a cheap-but-safe answer with error bars beats
+an exact compile that never finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bn.network import BayesianNetwork
+from repro.errors import PlannerError
+from repro.graph.moralize import moralize
+from repro.graph.treewidth import EliminationCost, fill_in_cost
+
+POLICIES = ("exact", "approx", "auto")
+
+#: Auto-routing threshold: estimated JT tables beyond this go to sampling.
+#: 64 MiB of float64 clique tables ≈ a second-scale compile in this pure-
+#: Python engine — past that, a resident server's latency SLO is gone.
+DEFAULT_MAX_EXACT_BYTES = 64 * 1024 * 1024
+
+#: Hard refusal cap for ``policy="exact"``: above this the compile is not
+#: merely slow but a process-killer, so the planner refuses outright.
+DEFAULT_REFUSE_EXACT_BYTES = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's verdict for one network."""
+
+    #: ``"exact"`` or ``"approx"``.
+    engine: str
+    #: The policy that produced the decision.
+    policy: str
+    #: The fill-in cost estimate the decision is based on.
+    estimate: EliminationCost
+    #: Human-readable justification (surfaced by the service ``info`` op).
+    reason: str
+
+
+def estimate_jt_cost(net: BayesianNetwork,
+                     heuristic: str = "min-fill") -> EliminationCost:
+    """Price exact compilation of ``net`` without compiling anything."""
+    adjacency = moralize(net)
+    cards = {v.name: v.cardinality for v in net.variables}
+    return fill_in_cost(adjacency, cards, heuristic=heuristic)
+
+
+class QueryPlanner:
+    """Routes networks to the exact or approximate engine class."""
+
+    def __init__(self, policy: str = "auto",
+                 max_exact_bytes: int = DEFAULT_MAX_EXACT_BYTES,
+                 refuse_exact_bytes: int = DEFAULT_REFUSE_EXACT_BYTES,
+                 heuristic: str = "min-fill") -> None:
+        if policy not in POLICIES:
+            raise PlannerError(
+                f"unknown engine policy {policy!r}; expected one of {POLICIES}")
+        if max_exact_bytes <= 0 or refuse_exact_bytes < max_exact_bytes:
+            raise PlannerError(
+                "need 0 < max_exact_bytes <= refuse_exact_bytes, got "
+                f"{max_exact_bytes} and {refuse_exact_bytes}"
+            )
+        self.policy = policy
+        self.max_exact_bytes = max_exact_bytes
+        self.refuse_exact_bytes = refuse_exact_bytes
+        self.heuristic = heuristic
+
+    def plan(self, net: BayesianNetwork,
+             policy: str | None = None) -> PlanDecision:
+        """Decide the engine for ``net`` under ``policy`` (default: own)."""
+        policy = policy if policy is not None else self.policy
+        if policy not in POLICIES:
+            raise PlannerError(
+                f"unknown engine policy {policy!r}; expected one of {POLICIES}")
+        estimate = estimate_jt_cost(net, heuristic=self.heuristic)
+        size = f"width {estimate.width}, ~{estimate.total_table_bytes:,} table bytes"
+        if policy == "approx":
+            return PlanDecision("approx", policy, estimate,
+                                f"policy forces sampling ({size})")
+        if policy == "exact":
+            if estimate.total_table_bytes > self.refuse_exact_bytes:
+                raise PlannerError(
+                    f"refusing exact compilation of {net.name!r}: estimated "
+                    f"junction-tree tables ({size}) exceed the hard cap of "
+                    f"{self.refuse_exact_bytes:,} bytes; use engine policy "
+                    "'approx' or 'auto'"
+                )
+            return PlanDecision("exact", policy, estimate,
+                                f"policy forces exact ({size})")
+        if estimate.total_table_bytes > self.max_exact_bytes:
+            return PlanDecision(
+                "approx", policy, estimate,
+                f"estimated exact cost ({size}) exceeds the "
+                f"{self.max_exact_bytes:,}-byte auto threshold")
+        return PlanDecision("exact", policy, estimate,
+                            f"estimated exact cost ({size}) is affordable")

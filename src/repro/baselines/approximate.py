@@ -1,10 +1,18 @@
 """Approximate inference: likelihood weighting and Gibbs sampling.
 
 The exact engines are the paper's subject; these samplers complete the
-substrate a downstream user expects from a BN library and serve as
-*statistical* cross-checks: their estimates must converge to the exact
-posteriors as the sample count grows (verified by the test suite), which
-guards against errors that systematic implementations could share.
+substrate a downstream user expects from a BN library and serve as slow
+*statistical* oracles: their estimates must converge to the exact
+posteriors as the sample count grows, and the vectorised production
+samplers (:mod:`repro.approx`) are cross-checked against them in the test
+suite — which guards against errors that systematic implementations could
+share.
+
+Both engines accept ``seed``/``rng`` as an int, ``None`` or an existing
+:class:`numpy.random.Generator` (threaded through
+:func:`repro.utils.rng.as_rng`).  With an int seed every ``posterior(s)``
+call draws the same stream, making reference runs reproducible; passing a
+generator threads one stream through a pipeline instead.
 """
 
 from __future__ import annotations
@@ -22,13 +30,14 @@ class LikelihoodWeightingEngine:
     name = "likelihood-weighting"
 
     def __init__(self, net: BayesianNetwork, num_samples: int = 10_000,
-                 seed: int | None = 0) -> None:
+                 seed: "int | None | np.random.Generator" = 0, *,
+                 rng: "int | None | np.random.Generator" = None) -> None:
         if num_samples < 1:
             raise ValueError("num_samples must be >= 1")
         net.validate()
         self.net = net
         self.num_samples = num_samples
-        self.seed = seed
+        self.seed = rng if rng is not None else seed
         self._order = net.topological_order()
 
     def posterior(self, target: str, evidence: dict[str, str | int] | None = None
@@ -76,14 +85,16 @@ class GibbsSamplingEngine:
     name = "gibbs"
 
     def __init__(self, net: BayesianNetwork, num_samples: int = 5_000,
-                 burn_in: int = 500, seed: int | None = 0) -> None:
+                 burn_in: int = 500,
+                 seed: "int | None | np.random.Generator" = 0, *,
+                 rng: "int | None | np.random.Generator" = None) -> None:
         if num_samples < 1 or burn_in < 0:
             raise ValueError("invalid sampler parameters")
         net.validate()
         self.net = net
         self.num_samples = num_samples
         self.burn_in = burn_in
-        self.seed = seed
+        self.seed = rng if rng is not None else seed
         # Markov blanket factors per variable: own CPT + children CPTs.
         self._blanket: dict[str, list] = {v.name: [net.cpt(v.name)] for v in net.variables}
         for cpt in net.cpts:
@@ -105,6 +116,11 @@ class GibbsSamplingEngine:
 
     def posterior(self, target: str, evidence: dict[str, str | int] | None = None
                   ) -> np.ndarray:
+        return self.posteriors((target,), evidence)[target]
+
+    def posteriors(self, targets, evidence: dict[str, str | int] | None = None
+                   ) -> dict[str, np.ndarray]:
+        """Posteriors for several targets from one chain (one shared sweep)."""
         rng = as_rng(self.seed)
         ev = {n: self.net.variable(n).state_index(s)
               for n, s in (evidence or {}).items()}
@@ -116,11 +132,12 @@ class GibbsSamplingEngine:
                 idx = tuple(state[p.name] for p in cpt.parents)
                 state[var.name] = int(rng.choice(var.cardinality, p=cpt.table[idx]))
         hidden = [v.name for v in self.net.variables if v.name not in ev]
-        counts = np.zeros(self.net.variable(target).cardinality)
+        counts = {t: np.zeros(self.net.variable(t).cardinality) for t in targets}
         for it in range(self.burn_in + self.num_samples):
             for name in hidden:
                 probs = self._conditional(name, state)
                 state[name] = int(rng.choice(len(probs), p=probs))
             if it >= self.burn_in:
-                counts[state[target]] += 1
-        return counts / counts.sum()
+                for t in counts:
+                    counts[t][state[t]] += 1
+        return {t: c / c.sum() for t, c in counts.items()}

@@ -11,8 +11,13 @@ Subcommands regenerate every table/figure of the evaluation:
 * ``info``        — network/junction-tree statistics;
 * ``query``       — run one inference on a bundled or analog network, or a
   whole case batch in one vectorised calibration pass (``--batch``);
+  ``--engine exact|approx|auto`` picks the junction tree, the adaptive
+  sampler, or lets the cost planner decide;
+* ``frontier``    — exact-vs-approx accuracy/latency frontier
+  (``BENCH_approx.json``);
 * ``serve``       — long-lived inference server (compiled-model registry +
-  dynamic micro-batching, JSON-lines over TCP);
+  dynamic micro-batching + exact/approx query planner, JSON-lines over
+  TCP);
 * ``client``      — query a running server (one-shot, scriptable).
 """
 
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 from repro.bn.repository import PAPER_NETWORKS
@@ -77,6 +83,24 @@ def _load_any(name: str):
         raise SystemExit(f"error: {exc}")
 
 
+def _cmd_frontier(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.frontier import render_frontier, run_frontier, write_frontier
+
+    networks = tuple(args.networks) if args.networks else None
+    samples = tuple(int(n) for n in args.samples.split(","))
+    kwargs = {"sample_counts": samples, "num_cases": args.cases,
+              "seed": args.seed}
+    if networks:
+        kwargs["networks"] = networks
+    rows = run_frontier(**kwargs)
+    print(render_frontier(rows))
+    if args.out:
+        write_frontier(rows, Path(args.out))
+        print(f"wrote {args.out}")
+
+
 def _cmd_heuristics(args: argparse.Namespace) -> None:
     from repro.bench.ablations import heuristic_study, render_heuristics
 
@@ -118,8 +142,29 @@ def _parse_evidence_arg(text: str):
     )
 
 
-def _cmd_query(args: argparse.Namespace) -> None:
+def _make_query_engine(args: argparse.Namespace, net):
+    """Build the engine ``query --engine`` selects (planner decides auto)."""
+    from repro.approx import ApproxBNI, QueryPlanner
     from repro.core import FastBNI
+
+    choice = args.engine
+    decision = None
+    if choice == "auto":
+        decision = QueryPlanner().plan(net)
+        choice = decision.engine
+    if choice == "approx":
+        from repro.approx.engine import DEFAULT_MAX_SAMPLES
+
+        if decision is not None:
+            print(f"# planner: {decision.reason}")
+        return ApproxBNI(net, method=args.method, num_samples=args.samples,
+                         max_samples=max(args.samples, DEFAULT_MAX_SAMPLES),
+                         tolerance=args.tolerance, seed=args.seed)
+    return FastBNI(net, mode=args.mode, backend=args.backend,
+                   num_workers=args.workers)
+
+
+def _cmd_query(args: argparse.Namespace) -> None:
     from repro.errors import ReproError
     from repro.jt.evidence_soft import split_evidence
 
@@ -132,17 +177,25 @@ def _cmd_query(args: argparse.Namespace) -> None:
         # Scalar values are hard observations, list values soft likelihood
         # vectors: --evidence '{"smoke": "yes", "xray": [0.7, 0.3]}'.
         hard, soft = split_evidence(evidence)
-        with FastBNI(net, mode=args.mode, backend=args.backend,
-                     num_workers=args.workers) as engine:
+        with _make_query_engine(args, net) as engine:
             result = engine.infer(hard, soft_evidence=soft or None)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
+    stderr = getattr(result, "stderr", None)
     targets = args.targets.split(",") if args.targets else list(net.variable_names)[:10]
     for name in targets:
         var = net.variable(name)
         dist = ", ".join(f"{s}={p:.4f}" for s, p in zip(var.states, result.posteriors[name]))
+        if stderr is not None and name in stderr:
+            dist += f"  (±{float(stderr[name].max()):.4f})"
         print(f"P({name} | e) = [{dist}]")
-    print(f"log P(e) = {result.log_evidence:.6f}")
+    # Gibbs results carry no P(e) estimate (NaN): print n/a, not "nan".
+    log_ev = result.log_evidence
+    print(f"log P(e) = {log_ev:.6f}" if math.isfinite(log_ev)
+          else "log P(e) = n/a")
+    if stderr is not None:
+        print(f"approx: ess = {result.ess:.0f}, samples = {result.num_samples}, "
+              f"method = {result.method}")
 
 
 def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
@@ -155,7 +208,7 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
     import time
 
     from repro.bn.sampling import TestCase, generate_test_cases
-    from repro.core import BatchedFastBNI
+    from repro.core import BatchedFastBNI, FastBNI
     from repro.jt.evidence_soft import split_evidence
 
     if isinstance(evidence, list):
@@ -172,16 +225,31 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
         cases = [c.evidence for c in generate_test_cases(
             net, args.batch, observed_fraction=0.2, rng=args.seed)]
     targets = tuple(args.targets.split(",")) if args.targets else ()
-    with BatchedFastBNI(net, mode=args.mode, backend=args.backend,
-                        num_workers=args.workers) as engine:
+    if args.engine == "exact":
+        chosen = BatchedFastBNI(net, mode=args.mode, backend=args.backend,
+                                num_workers=args.workers)
+    else:
+        chosen = _make_query_engine(args, net)
+        if isinstance(chosen, FastBNI):
+            # Planner picked exact: the batch path wants the case-axis-
+            # vectorised engine, not the per-case FastBNI.
+            chosen.close()
+            chosen = BatchedFastBNI(net, mode=args.mode, backend=args.backend,
+                                    num_workers=args.workers)
+    approx = not isinstance(chosen, BatchedFastBNI)
+    with chosen as engine:
         start = time.perf_counter()
-        # infer_batch's vectorised default falls back to the per-case loop
-        # when any case carries soft evidence.
+        # The exact engine's vectorised default falls back to the per-case
+        # loop when any case carries soft evidence; the approx engine
+        # shares one particle population across all cases either way.
         results = engine.infer_batch(cases, targets=targets)
         elapsed = time.perf_counter() - start
         blocks = int(engine.metrics.get("batch_blocks", 0))
     n = len(results)
-    detail = f", {blocks} case blocks" if blocks else " (per-case fallback)"
+    if approx:
+        detail = " (one shared particle population)"
+    else:
+        detail = f", {blocks} case blocks" if blocks else " (per-case fallback)"
     print(f"batched {n} cases in {elapsed * 1e3:.1f} ms "
           f"({elapsed / max(n, 1) * 1e3:.2f} ms/case{detail})")
     shown = targets[:1] or list(net.variable_names)[:1]
@@ -191,8 +259,13 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
         var = net.variable(name)
         dist = ", ".join(f"{s}={p:.4f}"
                          for s, p in zip(var.states, case.posteriors[name]))
-        print(f"  case {i}: log P(e) = {case.log_evidence:.6f}   "
-              f"P({name} | e) = [{dist}]")
+        log_ev = (f"{case.log_evidence:.6f}"
+                  if math.isfinite(case.log_evidence) else "n/a")
+        extra = ""
+        if approx:
+            extra = f"   ess = {case.ess:.0f}"
+        print(f"  case {i}: log P(e) = {log_ev}   "
+              f"P({name} | e) = [{dist}]{extra}")
     if n > 10:
         print(f"  ... {n - 10} more cases")
 
@@ -200,6 +273,7 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
 
+    from repro.approx.engine import DEFAULT_MAX_SAMPLES
     from repro.service.server import run_server
 
     preload = tuple(n.strip() for n in args.preload.split(",") if n.strip())
@@ -223,6 +297,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             max_wait_ms=args.max_wait_ms,
             cache_dir=args.cache_dir or None,
             max_bytes=int(args.max_mb * 1024 * 1024),
+            policy=args.policy,
+            max_exact_bytes=int(args.max_exact_mb * 1024 * 1024),
+            approx_options={"num_samples": args.approx_samples,
+                            "max_samples": max(args.approx_samples,
+                                               DEFAULT_MAX_SAMPLES),
+                            "tolerance": args.approx_tolerance},
             mode=args.mode, backend=args.backend, num_workers=args.workers,
         ))
     except KeyboardInterrupt:
@@ -236,7 +316,8 @@ def _cmd_client(args: argparse.Namespace) -> None:
 
     evidence = _parse_evidence_arg(args.evidence)
     targets = [t for t in args.targets.split(",") if t] if args.targets else None
-    needs_network = args.op not in ("health", "stats")
+    engine = args.engine or None
+    needs_network = args.op not in ("health", "stats", "stats_reset")
     if needs_network and not args.network:
         raise SystemExit(f"error: op {args.op!r} requires a network argument")
     try:
@@ -244,17 +325,18 @@ def _cmd_client(args: argparse.Namespace) -> None:
                            connect_retry_s=args.connect_timeout) as client:
             if args.op == "query":
                 result = client.query(args.network, evidence or None,
-                                      targets=targets)
+                                      targets=targets, engine=engine)
             elif args.op == "query_batch":
                 if not isinstance(evidence, list):
                     raise SystemExit("error: op query_batch needs --evidence "
                                      "as a JSON list of per-case objects")
                 result = client.query_batch(args.network, evidence,
-                                            targets=targets)
+                                            targets=targets, engine=engine)
             elif args.op == "mpe":
-                result = client.mpe(args.network, evidence or None)
+                result = client.mpe(args.network, evidence or None,
+                                    engine=engine)
             elif args.op == "info":
-                result = client.info(args.network)
+                result = client.info(args.network, engine=engine)
             else:
                 result = client.call(args.op)
     except ServiceError as exc:
@@ -270,11 +352,21 @@ def _cmd_client(args: argparse.Namespace) -> None:
         print(json.dumps({"ok": True, "result": result}))
         return
     if args.op == "query":
+        stderrs = result.get("stderr") or {}
         for name, probs in result["posteriors"].items():
             dist = ", ".join(f"{p:.4f}" for p in probs)
-            print(f"P({name} | e) = [{dist}]")
-        print(f"log P(e) = {result['log_evidence']:.6f}   "
-              f"(served by: {result['served_by']})")
+            suffix = ""
+            if name in stderrs:
+                suffix = f"  (±{max(stderrs[name]):.4f})"
+            print(f"P({name} | e) = [{dist}]{suffix}")
+        log_ev = result.get("log_evidence")
+        log_ev_text = f"{log_ev:.6f}" if log_ev is not None else "n/a"
+        print(f"log P(e) = {log_ev_text}   "
+              f"(served by: {result['served_by']}, "
+              f"engine: {result.get('engine', 'exact')})")
+        if result.get("engine") == "approx":
+            print(f"approx: ess = {result['ess']:.0f}, "
+                  f"samples = {result['num_samples']}")
     else:
         print(json.dumps(result, indent=2, default=str))
 
@@ -321,6 +413,20 @@ def build_parser() -> argparse.ArgumentParser:
     he.add_argument("--networks", nargs="*", choices=PAPER_NETWORKS)
     he.set_defaults(func=_cmd_heuristics)
 
+    fr = sub.add_parser("frontier",
+                        help="exact-vs-approx accuracy/latency frontier "
+                             "(writes BENCH_approx.json)")
+    fr.add_argument("--networks", nargs="*",
+                    help="networks to sweep (default: the bundled three)")
+    fr.add_argument("--samples", default="256,1024,4096",
+                    help="comma-separated particle counts")
+    fr.add_argument("--cases", type=int, default=8,
+                    help="seeded evidence cases per network")
+    fr.add_argument("--seed", type=int, default=2023)
+    fr.add_argument("--out", default="BENCH_approx.json",
+                    help="output JSON path ('' to skip writing)")
+    fr.set_defaults(func=_cmd_frontier)
+
     info = sub.add_parser("info", help="network + junction tree statistics")
     info.add_argument("network")
     info.set_defaults(func=_cmd_info)
@@ -334,8 +440,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="generate N random cases (20%% observed) and run them "
                         "in one batched calibration pass")
     q.add_argument("--seed", type=int, default=2023,
-                   help="RNG seed for --batch case generation")
+                   help="RNG seed for --batch case generation and sampling")
     q.add_argument("--targets", default="", help="comma-separated query variables")
+    q.add_argument("--engine", default="exact",
+                   choices=("exact", "approx", "auto"),
+                   help="engine class: exact junction tree, adaptive "
+                        "sampling, or let the cost planner decide")
+    q.add_argument("--method", default="lw", choices=("lw", "gibbs"),
+                   help="approx sampler (likelihood weighting or Gibbs)")
+    q.add_argument("--samples", type=int, default=1024,
+                   help="starting particle count for --engine approx")
+    q.add_argument("--tolerance", type=float, default=0.01,
+                   help="target worst-case posterior standard error")
     q.add_argument("--mode", default="hybrid")
     q.add_argument("--backend", default="thread")
     q.add_argument("--workers", type=int, default=4)
@@ -356,6 +472,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="registry resident-set byte budget (LRU eviction)")
     sv.add_argument("--preload", default="",
                     help="comma-separated models to compile before serving")
+    sv.add_argument("--policy", default="auto",
+                    choices=("exact", "approx", "auto"),
+                    help="default engine routing: exact junction trees, "
+                         "sampling, or cost-planner auto (default)")
+    sv.add_argument("--max-exact-mb", type=float, default=64.0,
+                    help="auto policy: estimated JT table budget beyond "
+                         "which a model is served by sampling")
+    sv.add_argument("--approx-samples", type=int, default=1024,
+                    help="starting particle count for approx-served models")
+    sv.add_argument("--approx-tolerance", type=float, default=0.01,
+                    help="target posterior standard error for approx answers")
     sv.add_argument("--mode", default="seq",
                     help="engine mode for served models (default: seq — "
                          "throughput comes from batching, not worker pools)")
@@ -369,13 +496,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "health/stats)")
     cl.add_argument("--op", default="query",
                     choices=("query", "query_batch", "mpe", "info", "health",
-                             "stats"))
+                             "stats", "stats_reset"))
     cl.add_argument("--evidence", default="",
                     help='JSON; scalar values are hard evidence, lists are '
                          'soft likelihoods: \'{"smoke": "yes", '
                          '"xray": [0.7, 0.3]}\'')
     cl.add_argument("--targets", default="",
                     help="comma-separated query variables")
+    cl.add_argument("--engine", default="",
+                    choices=("", "exact", "approx", "auto"),
+                    help="server-side engine routing for this request")
     cl.add_argument("--host", default="127.0.0.1")
     cl.add_argument("--port", type=int, default=7421)
     cl.add_argument("--connect-timeout", type=float, default=5.0,

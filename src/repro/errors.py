@@ -49,6 +49,10 @@ class BackendError(ReproError):
     """A parallel execution backend was misconfigured or failed."""
 
 
+class PlannerError(ReproError):
+    """The query planner refused a plan (e.g. exact inference over budget)."""
+
+
 class ServiceError(ReproError):
     """The inference service rejected a request or a remote call failed.
 

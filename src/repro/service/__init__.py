@@ -8,7 +8,9 @@ on every invocation; this package amortises both behind an asyncio server:
   calibrated baselines);
 * :class:`~repro.service.batcher.MicroBatcher` — dynamic micro-batching of
   concurrent single-case queries into vectorised
-  :class:`~repro.core.batch.BatchedFastBNI` calibrations;
+  :class:`~repro.core.batch.BatchedFastBNI` calibrations (or, for models
+  the :class:`~repro.approx.QueryPlanner` routes to sampling, one shared
+  :class:`~repro.approx.ApproxBNI` particle population per flush);
 * :class:`~repro.service.server.InferenceServer` — JSON-lines-over-TCP
   front end (``query``, ``query_batch``, ``mpe``, ``info``, ``health``,
   ``stats``), stdlib only;

@@ -14,14 +14,24 @@ heavy load).  Each flush runs one vectorised ``infer_cases`` call on an
 executor thread and fans the per-case results back out to the awaiting
 futures.
 
+Queues are keyed by ``(network, engine kind)``: approximate and exact
+queries for the same network never mix, and a flush against an
+:class:`~repro.approx.ApproxBNI` entry runs **one shared particle
+population** across all coalesced cases (common random numbers, one
+topological sampling pass) — the sampling analog of the exact engine's
+batched calibration.
+
 Two request classes bypass or degrade the vectorised path deliberately:
 
-* **soft evidence** cannot be expressed by the batched reduction, so those
-  requests run the per-case engine directly (still off the event loop);
+* **soft evidence** cannot be expressed by the exact batched reduction, so
+  those requests run the per-case engine directly (still off the event
+  loop) — the approx engine weights likelihood vectors natively, so there
+  soft evidence coalesces like any other case;
 * an **impossible-evidence case poisons a whole vectorised flush** (the
-  batched kernels raise on the first empty message), so a failed flush is
-  retried case-by-case — only the offending request gets the error, the
-  coalesced bystanders still succeed.
+  batched kernels raise on the first empty message; the sampler raises on
+  an all-zero-weight case), so a failed flush is retried case-by-case —
+  only the offending request gets the error, the coalesced bystanders
+  still succeed.
 
 Requests are validated *at submit time* (unknown variables/states, bad
 likelihood vectors) so a malformed request is rejected immediately and can
@@ -33,8 +43,10 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.approx.engine import (ApproxInferenceResult, check_net_evidence,
+                                 check_net_soft_evidence)
 from repro.errors import EvidenceError, QueryError
 from repro.jt.engine import InferenceResult
 from repro.jt.evidence import check_evidence
@@ -55,6 +67,9 @@ class QueryRequest:
     evidence: dict = field(default_factory=dict)
     targets: tuple[str, ...] = ()
     soft_evidence: dict | None = None
+    #: Engine routing override: ``"exact"``, ``"approx"``, ``"auto"`` or
+    #: ``None`` (= the registry's default policy).
+    engine: str | None = None
 
 
 class _Pending:
@@ -67,11 +82,20 @@ class _Pending:
 
 
 def _project(result: InferenceResult, want: tuple[str, ...]) -> InferenceResult:
-    """Narrow a result computed for a superset of targets down to ``want``."""
+    """Narrow a result computed for a superset of targets down to ``want``.
+
+    Preserves the result's class — an approx result keeps its per-target
+    ``stderr`` (narrowed alongside), ``ess`` and diagnostics.
+    """
     if not want or set(result.posteriors) == set(want):
         return result
+    narrowed = {name: result.posteriors[name] for name in want}
+    if isinstance(result, ApproxInferenceResult):
+        return replace(result, posteriors=narrowed,
+                       stderr={name: result.stderr[name] for name in want
+                               if name in result.stderr})
     return InferenceResult(
-        posteriors={name: result.posteriors[name] for name in want},
+        posteriors=narrowed,
         log_evidence=result.log_evidence,
         meta=result.meta,
     )
@@ -96,8 +120,10 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self._queues: dict[str, list[_Pending]] = {}
-        self._timers: dict[str, asyncio.TimerHandle] = {}
+        #: Queues keyed by (network, engine kind): exact and approx
+        #: traffic for one network coalesce separately.
+        self._queues: dict[tuple[str, str], list[_Pending]] = {}
+        self._timers: dict[tuple[str, str], asyncio.TimerHandle] = {}
         self._inflight: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
             max_workers=flush_workers, thread_name_prefix="fastbni-flush")
@@ -107,14 +133,33 @@ class MicroBatcher:
         """Run CPU-bound ``fn`` on the batcher's executor (shared with flushes)."""
         return await asyncio.get_running_loop().run_in_executor(self._executor, fn)
 
-    async def get_entry(self, network: str) -> ModelEntry:
+    async def get_entry(self, network: str,
+                        engine: str | None = None) -> ModelEntry:
         """Registry lookup off the event loop.
 
         A resident hit is a dict lookup, but a cold miss compiles a
         junction tree (seconds on large analogs) — that must never run on
         the loop or every connection stalls behind it.
         """
-        return await self.run_blocking(lambda: self.registry.get(network))
+        return await self.run_blocking(
+            lambda: self.registry.get(network, engine=engine))
+
+    def _validate(self, entry: ModelEntry, request: QueryRequest) -> None:
+        if entry.engine_kind == "approx":
+            check_net_evidence(entry.net, request.evidence)
+            if request.soft_evidence:
+                check_net_soft_evidence(entry.net, request.soft_evidence)
+        else:
+            check_evidence(entry.engine.tree, request.evidence)
+            if request.soft_evidence:
+                check_soft_evidence(entry.engine.tree, request.soft_evidence)
+        for name in request.targets:
+            if name not in entry.net:
+                raise QueryError(f"unknown target variable {name!r}")
+
+    def _observe_served(self, kind: str, result) -> None:
+        ess = result.ess if isinstance(result, ApproxInferenceResult) else None
+        self.metrics.observe_engine(kind, ess=ess)
 
     # ---------------------------------------------------------------- submit
     async def submit(self, network: str, request: QueryRequest) -> InferenceResult:
@@ -126,49 +171,55 @@ class MicroBatcher:
         """
         if self._closed:
             raise EvidenceError("micro-batcher is closed")
-        entry = await self.get_entry(network)
-        tree = entry.engine.tree
-        check_evidence(tree, request.evidence)
-        for name in request.targets:
-            if name not in tree.net:
-                raise QueryError(f"unknown target variable {name!r}")
-        if request.soft_evidence:
-            check_soft_evidence(tree, request.soft_evidence)
+        entry = await self.get_entry(network, request.engine)
+        kind = entry.engine_kind
+        self._validate(entry, request)
+        if request.soft_evidence and kind == "exact":
+            # The exact batched reduction cannot express likelihood
+            # vectors; the approx engine weights them natively, so only
+            # exact traffic takes the per-case detour.
             self.registry.pin(entry)
             try:
-                return await self._run_single(entry, request)
+                result = await self._run_single(entry, request)
+                self._observe_served(kind, result)
+                return result
             finally:
                 self.registry.unpin(entry)
-        if not request.evidence:
-            # Prior query: answered from the resident calibrated baseline.
+        if not request.evidence and not request.soft_evidence:
+            # Prior query: answered from the resident baseline (exact) or
+            # the resident sampled prior with its error bars (approx).
             if self.metrics is not None:
                 self.metrics.observe_baseline_hit()
-            return _project(
-                InferenceResult(posteriors=dict(entry.prior), log_evidence=0.0),
-                request.targets,
-            )
+            if kind == "approx" and entry.prior_result is not None:
+                prior_result = entry.prior_result
+            else:
+                prior_result = InferenceResult(
+                    posteriors=dict(entry.prior), log_evidence=0.0)
+            self._observe_served(kind, prior_result)
+            return _project(prior_result, request.targets)
 
         loop = asyncio.get_running_loop()
         pending = _Pending(request, loop.create_future())
-        queue = self._queues.setdefault(network, [])
+        key = (network, kind)
+        queue = self._queues.setdefault(key, [])
         queue.append(pending)
         if len(queue) >= self.max_batch:
-            self._flush(network)
+            self._flush(key)
         elif len(queue) == 1:
-            self._timers[network] = loop.call_later(
-                self.max_wait_ms / 1e3, self._flush, network)
+            self._timers[key] = loop.call_later(
+                self.max_wait_ms / 1e3, self._flush, key)
         return await pending.future
 
     # ---------------------------------------------------------------- flush
-    def _flush(self, network: str) -> None:
-        timer = self._timers.pop(network, None)
+    def _flush(self, key: tuple[str, str]) -> None:
+        timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
-        batch = self._queues.pop(network, [])
+        batch = self._queues.pop(key, [])
         if not batch:
             return
         task = asyncio.get_running_loop().create_task(
-            self._run_batch(network, batch))
+            self._run_batch(key, batch))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
@@ -186,19 +237,29 @@ class MicroBatcher:
                     union.append(name)
         return tuple(union)
 
-    async def _run_batch(self, network: str, batch: list[_Pending]) -> None:
-        entry = self.registry.pin(await self.get_entry(network))
+    async def _run_batch(self, key: tuple[str, str],
+                         batch: list[_Pending]) -> None:
+        network, kind = key
+        entry = self.registry.pin(await self.get_entry(network, kind))
         try:
             engine = entry.engine
             cases = [pending.request.evidence for pending in batch]
             targets = self._union_targets(batch)
             loop = asyncio.get_running_loop()
+            if kind == "approx":
+                # One shared particle population across every coalesced
+                # case (common random numbers, one pass over the topology).
+                soft = [pending.request.soft_evidence for pending in batch]
+                work = lambda: engine.infer_cases(  # noqa: E731
+                    cases, targets=targets, soft_cases=soft)
+            else:
+                work = lambda: engine.infer_cases(  # noqa: E731
+                    cases, targets=targets)
             try:
-                result = await loop.run_in_executor(
-                    self._executor,
-                    lambda: engine.infer_cases(cases, targets=targets))
+                result = await loop.run_in_executor(self._executor, work)
             except EvidenceError:
-                # An impossible case empties a message and aborts the whole
+                # An impossible case empties a message (exact) or kills
+                # every particle weight (approx) and aborts the whole
                 # vectorised pass; re-run case-by-case so only that request
                 # fails.
                 await self._run_individually(entry, batch)
@@ -210,9 +271,11 @@ class MicroBatcher:
                 return
             self.metrics.observe_batch(len(batch))
             for i, pending in enumerate(batch):
+                case_result = result.case(i)
+                self._observe_served(kind, case_result)
                 if not pending.future.done():
                     pending.future.set_result(
-                        _project(result.case(i), pending.request.targets))
+                        _project(case_result, pending.request.targets))
         finally:
             self.registry.unpin(entry)
 
@@ -235,6 +298,7 @@ class MicroBatcher:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             else:
+                self._observe_served(entry.engine_kind, result)
                 if not pending.future.done():
                     pending.future.set_result(result)
 

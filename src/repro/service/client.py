@@ -75,26 +75,40 @@ class ServiceClient:
 
     # ------------------------------------------------------------ operations
     def query(self, network: str, evidence: dict | None = None,
-              targets=None, soft_evidence: dict | None = None) -> dict:
+              targets=None, soft_evidence: dict | None = None,
+              engine: str | None = None) -> dict:
+        """One posterior query; ``engine`` = ``exact``/``approx``/``auto``.
+
+        Responses served by the sampling engine additionally carry
+        ``ess``, ``stderr``, ``num_samples`` (and ``r_hat`` for Gibbs).
+        """
         return self.call("query", network=network, evidence=evidence,
                          targets=list(targets) if targets else None,
-                         soft_evidence=soft_evidence)
+                         soft_evidence=soft_evidence, engine=engine)
 
-    def query_batch(self, network: str, cases: list, targets=None) -> dict:
+    def query_batch(self, network: str, cases: list, targets=None,
+                    engine: str | None = None) -> dict:
         return self.call("query_batch", network=network, cases=cases,
-                         targets=list(targets) if targets else None)
+                         targets=list(targets) if targets else None,
+                         engine=engine)
 
-    def mpe(self, network: str, evidence: dict | None = None) -> dict:
-        return self.call("mpe", network=network, evidence=evidence)
+    def mpe(self, network: str, evidence: dict | None = None,
+            engine: str | None = None) -> dict:
+        return self.call("mpe", network=network, evidence=evidence,
+                         engine=engine)
 
-    def info(self, network: str) -> dict:
-        return self.call("info", network=network)
+    def info(self, network: str, engine: str | None = None) -> dict:
+        return self.call("info", network=network, engine=engine)
 
     def health(self) -> dict:
         return self.call("health")
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def stats_reset(self) -> dict:
+        """Zero the server's metrics counters (clean benchmark windows)."""
+        return self.call("stats_reset")
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:

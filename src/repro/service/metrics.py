@@ -42,10 +42,14 @@ class ServiceMetrics:
                  clock=time.monotonic) -> None:
         self._clock = clock
         self._lock = threading.Lock()
-        self._start = clock()
         self._rate_window_s = rate_window_s
+        self._latency_window = latency_window
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._start = self._clock()
         #: Sliding reservoir of the most recent request latencies (seconds).
-        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._latencies: deque[float] = deque(maxlen=self._latency_window)
         #: Completion timestamps inside the throughput window.
         self._timestamps: deque[float] = deque()
         self._requests = 0
@@ -61,6 +65,19 @@ class ServiceMetrics:
         self._cache_hits = 0
         self._cache_misses = 0
         self._baseline_hits = 0
+        #: Per-engine-class query counters + ESS aggregation (approx only).
+        self._engine_cases: Counter[str] = Counter()
+        self._ess_sum = 0.0
+        self._ess_count = 0
+
+    def reset(self) -> None:
+        """Zero every counter and restart the clock (the ``stats_reset`` op).
+
+        Benchmarks bracket a measurement window with ``stats_reset`` /
+        ``stats`` so warm-up traffic cannot pollute the figures.
+        """
+        with self._lock:
+            self._reset_locked()
 
     # ------------------------------------------------------------ observers
     def observe_request(self, op: str, latency_s: float, ok: bool = True) -> None:
@@ -111,6 +128,25 @@ class ServiceMetrics:
         """A no-evidence query answered from the resident calibrated baseline."""
         with self._lock:
             self._baseline_hits += 1
+
+    def observe_engine(self, kind: str, cases: int = 1,
+                       ess: float | None = None) -> None:
+        """``cases`` queries served by engine class ``kind``.
+
+        ``ess`` (approx only) feeds the mean effective-sample-size gauge —
+        a low mean ESS flags that the sampling budget is too small for the
+        traffic's evidence patterns.
+        """
+        with self._lock:
+            self._engine_cases[kind] += cases
+            if ess is not None:
+                self._ess_sum += ess
+                self._ess_count += 1
+
+    def mean_ess(self) -> float:
+        """Mean reported ESS over approx-served queries (0 if none)."""
+        with self._lock:
+            return self._ess_sum / self._ess_count if self._ess_count else 0.0
 
     # ------------------------------------------------------------- summaries
     def _trim(self, now: float) -> None:
@@ -183,5 +219,11 @@ class ServiceMetrics:
                     "misses": self._cache_misses,
                     "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
                     "baseline_hits": self._baseline_hits,
+                },
+                "engines": {
+                    "exact_cases": self._engine_cases.get("exact", 0),
+                    "approx_cases": self._engine_cases.get("approx", 0),
+                    "mean_ess": (self._ess_sum / self._ess_count
+                                 if self._ess_count else 0.0),
                 },
             }

@@ -8,12 +8,21 @@ resident.  Entries are LRU-ordered and evicted when the estimated resident
 bytes exceed the registry budget, so a long-lived server can rotate
 through more models than fit in memory.
 
-Three name forms resolve, in order:
+Four name forms resolve, in order:
 
+* a name injected programmatically via :meth:`ModelRegistry.register`;
 * a bundled dataset name (``asia``, ``cancer``, ``sprinkler``);
 * a paper-network analog name (``hailfinder`` … ``munin4``), built at the
   laptop-feasible ``bench`` scale;
 * a filesystem path to a ``.bif`` file.
+
+Every load first passes through the :class:`~repro.approx.QueryPlanner`:
+a network whose estimated junction-tree cost exceeds the registry's
+engine-policy threshold loads as a resident :class:`~repro.approx.ApproxBNI`
+sampling engine instead of failing (or thrashing the LRU) on an
+exponential exact compile.  Exact and approximate residencies of the same
+network coexist under distinct keys (``name`` vs ``name@approx``), so an
+explicit ``engine="approx"`` request never evicts the exact entry.
 
 With a ``cache_dir``, compiled tree *structure* is persisted through
 :mod:`repro.jt.serialize` and warm-started on the next load — potentials
@@ -33,10 +42,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.approx.engine import ApproxBNI, ApproxInferenceResult
+from repro.approx.planner import POLICIES, PlanDecision, QueryPlanner
 from repro.bn.network import BayesianNetwork
 from repro.bn.repository import resolve_network
 from repro.core.batch import BatchedFastBNI
-from repro.errors import NetworkError, ReproError
+from repro.errors import NetworkError, PlannerError, ReproError
 from repro.jt.calibrate import calibrate
 from repro.jt.query import all_posteriors
 from repro.jt.serialize import load_tree, save_tree
@@ -59,14 +70,22 @@ class ModelEntry:
 
     name: str
     net: BayesianNetwork
-    engine: BatchedFastBNI
+    engine: "BatchedFastBNI | ApproxBNI"
     #: No-evidence calibrated tree state, kept resident so prior queries
-    #: (and the ``info`` endpoint) never re-propagate.
-    baseline: TreeState
+    #: (and the ``info`` endpoint) never re-propagate.  ``None`` for
+    #: approximate entries (there is no tree to calibrate).
+    baseline: "TreeState | None"
     #: Prior marginals read off the baseline, ``{var: (card,) array}``.
     prior: dict[str, np.ndarray]
     #: Estimated resident footprint (tables + maps + baseline), for LRU.
     resident_bytes: int
+    #: ``"exact"`` or ``"approx"`` — which engine class serves this entry.
+    engine_kind: str = "exact"
+    #: The planner decision that picked the engine (estimate + reason).
+    plan: "PlanDecision | None" = None
+    #: For approx entries: the no-evidence sampling result backing ``prior``
+    #: (carries the prior's own ess/stderr for baseline-served responses).
+    prior_result: "ApproxInferenceResult | None" = None
     #: Whether the junction tree came from the serialized warm-start cache.
     from_cache: bool = False
     meta: dict[str, float] = field(default_factory=dict)
@@ -77,6 +96,15 @@ class ModelEntry:
     #: Set when the entry was evicted while pinned.
     retired: bool = False
 
+    @property
+    def key(self) -> str:
+        """Registry cache key (approx residencies are suffixed)."""
+        return entry_key(self.name, self.engine_kind)
+
+
+def entry_key(name: str, kind: str) -> str:
+    return name if kind == "exact" else f"{name}@approx"
+
 
 class ModelRegistry:
     """LRU registry of compiled, baseline-calibrated inference engines.
@@ -85,11 +113,20 @@ class ModelRegistry:
     default is the sequential vectorised engine (``mode="seq"``), which is
     the right serving configuration for small/medium models — throughput
     comes from micro-batching, not per-query worker pools.
+
+    ``policy`` sets the default engine routing (``"exact"``, ``"approx"``
+    or ``"auto"``); per-lookup ``engine=`` overrides it, so one registry
+    serves mixed exact/approx traffic.  ``approx_options`` are forwarded to
+    :class:`~repro.approx.ApproxBNI` (sample counts, tolerance, seed).
     """
 
     def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES,
                  cache_dir: str | Path | None = None,
                  metrics: ServiceMetrics | None = None,
+                 policy: str = "auto",
+                 planner: QueryPlanner | None = None,
+                 max_exact_bytes: int | None = None,
+                 approx_options: dict | None = None,
                  **engine_options) -> None:
         if max_bytes <= 0:
             raise NetworkError(f"registry byte budget must be positive, got {max_bytes}")
@@ -97,42 +134,109 @@ class ModelRegistry:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.metrics = metrics
         self.engine_options = {"mode": "seq", **engine_options}
+        self.approx_options = dict(approx_options or {})
+        if planner is not None:
+            self.planner = planner
+        else:
+            from repro.approx.planner import DEFAULT_REFUSE_EXACT_BYTES
+
+            planner_kwargs = {"policy": policy}
+            if max_exact_bytes is not None:
+                planner_kwargs["max_exact_bytes"] = max_exact_bytes
+                planner_kwargs["refuse_exact_bytes"] = max(
+                    max_exact_bytes, DEFAULT_REFUSE_EXACT_BYTES)
+            self.planner = QueryPlanner(**planner_kwargs)
         self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
+        #: Programmatically injected networks (see :meth:`register`).
+        self._nets: dict[str, BayesianNetwork] = {}
+        #: Cached planner decisions per model name (auto policy only needs
+        #: one fill-in simulation per network, not one per lookup).
+        self._plans: dict[str, PlanDecision] = {}
         self._lock = threading.RLock()
         self._evictions = 0
         self._closed = False
 
     # ---------------------------------------------------------------- lookup
-    def get(self, name: str) -> ModelEntry:
+    def register(self, name: str, net: BayesianNetwork) -> None:
+        """Make an in-memory network loadable under ``name``.
+
+        For embedding applications (and tests) serving networks that exist
+        only as objects — generated graphs, learned structures — without a
+        ``.bif`` round trip.  The planner applies on load exactly as for
+        named models.  Re-registering a name drops any cached plan and any
+        resident engine compiled from the previous network, so an updated
+        model can never keep serving stale answers.
+        """
+        net.validate()
+        with self._lock:
+            self._nets[name] = net
+            self._plans.pop(name, None)
+            for kind in ("exact", "approx"):
+                entry = self._entries.pop(entry_key(name, kind), None)
+                if entry is not None:
+                    self._retire(entry)
+
+    def _resolve(self, name: str) -> BayesianNetwork:
+        with self._lock:
+            net = self._nets.get(name)
+        return net if net is not None else resolve_network(name)
+
+    def plan_for(self, name: str) -> PlanDecision:
+        """The (cached) cost-based ``auto`` decision for ``name``.
+
+        Always planned under ``policy="auto"`` — a per-request
+        ``engine="auto"`` must mean "let the cost model decide" even when
+        the registry's *default* policy forces one engine class.
+        """
+        with self._lock:
+            decision = self._plans.get(name)
+        if decision is None:
+            decision = self.planner.plan(self._resolve(name), policy="auto")
+            with self._lock:
+                self._plans.setdefault(name, decision)
+        return decision
+
+    def get(self, name: str, engine: str | None = None) -> ModelEntry:
         """Resident entry for ``name``, loading (and possibly evicting) on miss.
 
-        The compile happens *outside* the registry lock — a cold load can
-        take seconds and must not block concurrent lookups of resident
-        models.  Two threads racing on the same cold name may both compile;
-        the first to register wins and the loser's engine is closed.
+        ``engine`` overrides the registry's default policy for this lookup
+        (``"exact"``, ``"approx"`` or ``"auto"``).  The compile happens
+        *outside* the registry lock — a cold load can take seconds and must
+        not block concurrent lookups of resident models.  Two threads
+        racing on the same cold name may both compile; the first to
+        register wins and the loser's engine is closed.
         """
+        policy = engine if engine is not None else self.planner.policy
+        if policy not in POLICIES:
+            raise PlannerError(
+                f"unknown engine policy {policy!r}; expected one of {POLICIES}")
+        if policy == "auto":
+            kind = self.plan_for(name).engine
+        else:
+            kind = policy
+        key = entry_key(name, kind)
         with self._lock:
             if self._closed:
                 raise NetworkError("model registry is closed")
-            entry = self._entries.get(name)
+            entry = self._entries.get(key)
             if entry is not None:
-                self._entries.move_to_end(name)
+                self._entries.move_to_end(key)
                 if self.metrics is not None:
                     self.metrics.observe_cache(hit=True)
                 return entry
-        loaded = self._load(name)
+        loaded = self._load(name, kind)
         with self._lock:
             if self._closed:
                 loaded.engine.close()
                 raise NetworkError("model registry is closed")
-            existing = self._entries.get(name)
+            existing = self._entries.get(key)
             if existing is not None:
                 loaded.engine.close()
-                self._entries.move_to_end(name)
+                self._entries.move_to_end(key)
                 return existing
             if self.metrics is not None:
                 self.metrics.observe_cache(hit=False)
-            self._entries[name] = loaded
+            self._entries[key] = loaded
             self._evict_over_budget()
             return loaded
 
@@ -149,7 +253,7 @@ class ModelRegistry:
                 entry.engine.close()
 
     @contextmanager
-    def lease(self, name: str):
+    def lease(self, name: str, engine: str | None = None):
         """``get`` + pin: the engine stays usable even if evicted meanwhile.
 
         Eviction under the byte budget must not close an engine with an
@@ -158,14 +262,18 @@ class ModelRegistry:
         concurrent eviction merely *retires* the entry and the close
         happens when the last lease is released.
         """
-        entry = self.pin(self.get(name))
+        entry = self.pin(self.get(name, engine=engine))
         try:
             yield entry
         finally:
             self.unpin(entry)
 
     def loaded(self) -> tuple[str, ...]:
-        """Names of resident models, least- to most-recently used."""
+        """Keys of resident models, least- to most-recently used.
+
+        Exact residencies list under their plain name; approximate ones
+        under ``name@approx``.
+        """
         with self._lock:
             return tuple(self._entries)
 
@@ -179,8 +287,20 @@ class ModelRegistry:
             return None
         return self.cache_dir / f"{_cache_key(name)}.jt.json"
 
-    def _load(self, name: str) -> ModelEntry:
-        net = resolve_network(name)
+    def _load(self, name: str, kind: str = "exact") -> ModelEntry:
+        net = self._resolve(name)
+        with self._lock:
+            decision = self._plans.get(name)
+        if decision is None or decision.engine != kind:
+            # Plan under the explicit policy: "exact" must apply the
+            # refusal cap, "approx" records the forced-sampling reason.
+            decision = self.planner.plan(net, policy=kind)
+        if kind == "approx":
+            return self._load_approx(name, net, decision)
+        return self._load_exact(name, net, decision)
+
+    def _load_exact(self, name: str, net: BayesianNetwork,
+                    decision: PlanDecision) -> ModelEntry:
         tree: JunctionTree | None = None
         from_cache = False
         cache_path = self._tree_cache_path(name)
@@ -207,8 +327,35 @@ class ModelRegistry:
             baseline=baseline,
             prior=prior,
             resident_bytes=self._estimate_bytes(engine, prior),
+            engine_kind="exact",
+            plan=decision,
             from_cache=from_cache,
             meta={"variables": float(net.num_variables),
+                  **{k: float(v) for k, v in engine.stats().items()}},
+        )
+
+    def _load_approx(self, name: str, net: BayesianNetwork,
+                     decision: PlanDecision) -> ModelEntry:
+        """Resident sampling engine + sampled prior (with its error bars)."""
+        engine = ApproxBNI(net, **self.approx_options)
+        prior_result = engine.infer()
+        prior = dict(prior_result.posteriors)
+        resident = engine.estimate_resident_bytes()
+        resident += sum(8 * v.size for v in prior.values())
+        return ModelEntry(
+            name=name,
+            net=net,
+            engine=engine,
+            baseline=None,
+            prior=prior,
+            resident_bytes=resident,
+            engine_kind="approx",
+            plan=decision,
+            prior_result=prior_result,
+            from_cache=False,
+            meta={"variables": float(net.num_variables),
+                  "estimated_jt_bytes": float(decision.estimate.total_table_bytes),
+                  "fill_in_width": float(decision.estimate.width),
                   **{k: float(v) for k, v in engine.stats().items()}},
         )
 
@@ -241,7 +388,11 @@ class ModelRegistry:
             self._evictions += 1
 
     def evict(self, name: str | None = None) -> str | None:
-        """Evict ``name`` (or the LRU entry); returns the evicted name."""
+        """Evict ``name`` (or the LRU entry); returns the evicted key.
+
+        ``name`` may be a plain model name (evicts the exact residency
+        first, else the approx one) or an explicit ``name@approx`` key.
+        """
         with self._lock:
             if name is None:
                 if not self._entries:
@@ -250,7 +401,11 @@ class ModelRegistry:
             else:
                 entry = self._entries.pop(name, None)
                 if entry is None:
-                    return None
+                    key = entry_key(name, "approx")
+                    entry = self._entries.pop(key, None)
+                    if entry is None:
+                        return None
+                    name = key
             self._retire(entry)
             self._evictions += 1
             return name
@@ -266,6 +421,11 @@ class ModelRegistry:
                 "evictions": self._evictions,
                 "warm_starts": sum(1 for e in self._entries.values()
                                    if e.from_cache),
+                "policy": self.planner.policy,
+                "exact_models": sum(1 for e in self._entries.values()
+                                    if e.engine_kind == "exact"),
+                "approx_models": sum(1 for e in self._entries.values()
+                                     if e.engine_kind == "approx"),
             }
 
     def close(self) -> None:

@@ -17,10 +17,19 @@ Scalar evidence values are hard observations, list values are soft
 ``id``), so a single client can pipeline requests — which is exactly what
 lets the micro-batcher coalesce them.
 
+``query``/``query_batch``/``info`` accept an ``"engine"`` field
+(``"exact"``, ``"approx"`` or ``"auto"``, default: the registry policy).
+Answers served by the sampling engine carry their uncertainty — ``ess``,
+per-target ``stderr`` vectors, ``num_samples`` and (Gibbs) ``r_hat`` —
+next to the posteriors, and the response's ``engine`` field always states
+which engine class actually answered, so clients can assert the planner's
+routing decision.
+
 Operations: ``query`` (single case, micro-batched), ``query_batch``
 (explicit case list, one vectorised pass), ``mpe`` (most probable
-explanation), ``info`` (network + tree statistics), ``health`` and
-``stats`` (serving metrics snapshot).
+explanation; exact engine only), ``info`` (network + tree/planner
+statistics), ``health``, ``stats`` (serving metrics snapshot) and
+``stats_reset`` (zero the counters, for clean benchmark windows).
 
 Failures map onto the :mod:`repro.errors` hierarchy: the response's
 ``error.type`` is the exception class name (``EvidenceError``,
@@ -32,10 +41,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 
 import numpy as np
 
+from repro.approx.engine import (ApproxInferenceResult, check_net_evidence)
+from repro.approx.planner import POLICIES
 from repro.errors import EvidenceError, ParseError, QueryError, ReproError
 from repro.jt.evidence import check_evidence
 from repro.jt.evidence_soft import split_evidence
@@ -81,6 +93,37 @@ def _parse_targets(value) -> tuple[str, ...]:
             and all(isinstance(t, str) for t in value)):
         return tuple(value)
     raise QueryError("targets must be a list of variable names")
+
+
+def _parse_engine(value) -> str | None:
+    """The request's ``engine`` field: exact/approx/auto or absent."""
+    if value is None:
+        return None
+    if isinstance(value, str) and value in POLICIES:
+        return value
+    raise QueryError(
+        f"engine must be one of {POLICIES}, got {value!r}")
+
+
+def _finite_or_none(value: float):
+    """JSON-safe float: NaN/±inf become null (Gibbs has no P(e) estimate)."""
+    return value if isinstance(value, (int, float)) and math.isfinite(value) else None
+
+
+def _result_fields(result) -> dict:
+    """Engine-class + uncertainty fields shared by query/query_batch."""
+    fields = {"engine": "exact"}
+    if isinstance(result, ApproxInferenceResult):
+        fields = {
+            "engine": "approx",
+            "method": result.method,
+            "ess": result.ess,
+            "stderr": result.stderr,
+            "num_samples": result.num_samples,
+        }
+        if math.isfinite(result.r_hat):
+            fields["r_hat"] = result.r_hat
+    return fields
 
 
 class InferenceServer:
@@ -234,6 +277,8 @@ class InferenceServer:
             return self._op_health()
         if op == "stats":
             return self._op_stats()
+        if op == "stats_reset":
+            return self._op_stats_reset()
         network = request.get("network")
         if not isinstance(network, str) or not network:
             raise QueryError(f"op {op!r} requires a 'network' string field")
@@ -244,10 +289,10 @@ class InferenceServer:
         if op == "mpe":
             return await self._op_mpe(network, request)
         if op == "info":
-            return await self._op_info(network)
+            return await self._op_info(network, request)
         raise QueryError(
             f"unknown op {op!r}; expected one of query, query_batch, mpe, "
-            f"info, health, stats"
+            f"info, health, stats, stats_reset"
         )
 
     async def _op_query(self, network: str, request: dict) -> dict:
@@ -257,14 +302,18 @@ class InferenceServer:
                                          "soft_evidence")
         soft.update(explicit_soft)
         targets = _parse_targets(request.get("targets"))
+        engine = _parse_engine(request.get("engine"))
         query = QueryRequest(evidence=hard, targets=targets,
-                             soft_evidence=soft or None)
+                             soft_evidence=soft or None, engine=engine)
         result = await self.batcher.submit(network, query)
+        approx = isinstance(result, ApproxInferenceResult)
         return {
             "posteriors": result.posteriors,
-            "log_evidence": result.log_evidence,
-            "served_by": ("single" if soft
-                          else "baseline" if not hard else "batch"),
+            "log_evidence": _finite_or_none(result.log_evidence),
+            "served_by": ("single" if soft and not approx
+                          else "baseline" if not hard and not soft
+                          else "batch"),
+            **_result_fields(result),
         }
 
     async def _op_query_batch(self, network: str, request: dict) -> dict:
@@ -272,31 +321,43 @@ class InferenceServer:
         if not isinstance(cases, list) or not cases:
             raise QueryError("query_batch requires a non-empty 'cases' list "
                              "of evidence objects")
-        entry = self.registry.pin(await self.batcher.get_entry(network))
+        engine = _parse_engine(request.get("engine"))
+        entry = self.registry.pin(
+            await self.batcher.get_entry(network, engine))
         try:
             parsed = []
             for i, case in enumerate(cases):
                 hard, soft = split_evidence(_require_mapping(case, f"cases[{i}]"))
                 if soft:
                     raise EvidenceError(
-                        f"cases[{i}] carries soft evidence; the vectorised "
+                        f"cases[{i}] carries soft evidence; the explicit "
                         "batch path is hard-evidence only — send it as a "
                         "single query"
                     )
-                check_evidence(entry.engine.tree, hard)
+                if entry.engine_kind == "approx":
+                    check_net_evidence(entry.net, hard)
+                else:
+                    check_evidence(entry.engine.tree, hard)
                 parsed.append(hard)
             targets = _parse_targets(request.get("targets"))
             result = await self.batcher.run_blocking(
                 lambda: entry.engine.infer_cases(parsed, targets=targets))
             self.metrics.observe_explicit_batch(len(parsed))
+            case_payloads = []
+            for i in range(len(result)):
+                case = result.case(i)
+                self.metrics.observe_engine(
+                    entry.engine_kind,
+                    ess=(case.ess if isinstance(case, ApproxInferenceResult)
+                         else None))
+                case_payloads.append({
+                    "posteriors": case.posteriors,
+                    "log_evidence": _finite_or_none(case.log_evidence),
+                    **_result_fields(case),
+                })
         finally:
             self.registry.unpin(entry)
-        return {
-            "count": len(result),
-            "cases": [{"posteriors": result.case(i).posteriors,
-                       "log_evidence": result.case(i).log_evidence}
-                      for i in range(len(result))],
-        }
+        return {"count": len(result), "cases": case_payloads}
 
     async def _op_mpe(self, network: str, request: dict) -> dict:
         from repro.jt.mpe import most_probable_explanation
@@ -305,7 +366,21 @@ class InferenceServer:
             _require_mapping(request.get("evidence"), "evidence"))
         if soft:
             raise EvidenceError("mpe supports hard evidence only")
-        entry = await self.batcher.get_entry(network)
+        engine = _parse_engine(request.get("engine"))
+        # Resolve the routing *before* loading: an approx-routed model must
+        # be rejected from the cheap fill-in estimate, not after paying the
+        # sampling-engine load (and possibly evicting a hot exact entry).
+        kind = engine if engine is not None else self.registry.planner.policy
+        if kind == "auto":
+            kind = (await self.batcher.run_blocking(
+                lambda: self.registry.plan_for(network))).engine
+        if kind != "exact":
+            raise QueryError(
+                "mpe needs the exact junction-tree engine but "
+                f"{network!r} is served approximately "
+                "(send engine='exact' to force an exact compile)"
+            )
+        entry = await self.batcher.get_entry(network, "exact")
         check_evidence(entry.engine.tree, hard)
         assignment, log_p = await self.batcher.run_blocking(
             lambda: most_probable_explanation(entry.engine.tree, hard))
@@ -315,15 +390,27 @@ class InferenceServer:
             "log_probability": log_p,
         }
 
-    async def _op_info(self, network: str) -> dict:
-        entry = await self.batcher.get_entry(network)
-        return {
+    async def _op_info(self, network: str, request: dict | None = None) -> dict:
+        engine = _parse_engine((request or {}).get("engine"))
+        entry = await self.batcher.get_entry(network, engine)
+        info = {
             "network": entry.name,
             "variables": entry.net.num_variables,
+            "engine": entry.engine_kind,
             "tree": entry.engine.stats(),
             "resident_bytes": entry.resident_bytes,
             "compiled_from_cache": entry.from_cache,
         }
+        if entry.plan is not None:
+            est = entry.plan.estimate
+            info["plan"] = {
+                "policy": entry.plan.policy,
+                "reason": entry.plan.reason,
+                "fill_in_width": est.width,
+                "estimated_table_bytes": est.total_table_bytes,
+                "log10_max_clique": est.log10_max_clique,
+            }
+        return info
 
     def _op_health(self) -> dict:
         return {
@@ -340,6 +427,11 @@ class InferenceServer:
             "max_wait_ms": self.batcher.max_wait_ms,
         }
         return snapshot
+
+    def _op_stats_reset(self) -> dict:
+        """Zero the metrics counters (registry residency is untouched)."""
+        self.metrics.reset()
+        return {"reset": True}
 
 
 async def run_server(host: str, port: int, *, preload=(),

@@ -5,13 +5,15 @@ chordality and maximal cliques.
 """
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.bn.generators import chain_network, random_network, star_network
 from repro.errors import JunctionTreeError
 from repro.graph.cliques import elimination_cliques, is_clique, maximal_cliques_check
 from repro.graph.moralize import check_symmetric, copy_adjacency, moralize
-from repro.graph.treewidth import log_max_clique_weight, ordering_width, total_clique_weight
+from repro.graph.treewidth import (fill_in_cost, log_max_clique_weight,
+                                   ordering_width, total_clique_weight)
 from repro.graph.triangulate import HEURISTICS, is_chordal, triangulate
 
 
@@ -151,3 +153,48 @@ class TestTreewidth:
         cl = [frozenset(["a", "b"]), frozenset(["c"])]
         cards = {"a": 10, "b": 10, "c": 10}
         assert log_max_clique_weight(cl, cards) == pytest.approx(2.0)
+
+
+class TestFillInCost:
+    """Pinned fill-in widths/bytes for the bundled networks.
+
+    These are the numbers the exact/approx query planner prices compiles
+    with, so a silent change in the min-fill simulation must fail here.
+    """
+
+    def _cost(self, net):
+        cards = {v.name: v.cardinality for v in net.variables}
+        return fill_in_cost(moralize(net), cards)
+
+    def test_asia_pinned(self, asia):
+        cost = self._cost(asia)
+        assert cost.width == 2
+        assert cost.max_clique_entries == 8
+        assert cost.total_table_entries == 46
+        assert cost.total_table_bytes == 368
+
+    def test_cancer_pinned(self, cancer):
+        cost = self._cost(cancer)
+        assert cost.width == 2
+        assert cost.total_table_bytes == 176
+
+    def test_sprinkler_pinned(self, sprinkler):
+        cost = self._cost(sprinkler)
+        assert cost.width == 2
+        assert cost.total_table_bytes == 176
+
+    def test_bytes_are_eight_per_entry(self, asia):
+        cost = self._cost(asia)
+        assert cost.total_table_bytes == 8 * cost.total_table_entries
+        assert cost.log10_max_clique == pytest.approx(
+            np.log10(cost.max_clique_entries))
+
+    def test_grid_width_grows(self):
+        from repro.bn.generators import grid_network
+
+        small = grid_network(3, 3, rng=0)
+        large = grid_network(6, 6, rng=0)
+        cost_small = self._cost(small)
+        cost_large = self._cost(large)
+        assert cost_large.width > cost_small.width
+        assert cost_large.total_table_bytes > cost_small.total_table_bytes

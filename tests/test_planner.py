@@ -1,0 +1,85 @@
+"""Tests for the exact/approx query planner (repro.approx.planner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx import (DEFAULT_MAX_EXACT_BYTES, QueryPlanner,
+                          estimate_jt_cost)
+from repro.bn.generators import chain_network, grid_network
+from repro.errors import PlannerError
+
+
+class TestEstimate:
+    def test_estimate_matches_fill_in(self, asia):
+        cost = estimate_jt_cost(asia)
+        assert cost.width == 2
+        assert cost.total_table_bytes == 368
+
+    def test_estimate_upper_bounds_compiled_tree(self, asia):
+        """Elimination cliques over-count merged cliques — never under."""
+        from repro.jt.structure import compile_junction_tree
+
+        tree = compile_junction_tree(asia)
+        compiled_entries = int(tree.stats()["total_clique_size"])
+        assert estimate_jt_cost(asia).total_table_entries >= compiled_entries
+
+    def test_estimate_without_compiling(self):
+        """Pricing a 12-wide binary grid must not take exponential time."""
+        net = grid_network(12, 12, rng=0)
+        cost = estimate_jt_cost(net)
+        assert cost.width >= 12
+        assert cost.total_table_bytes > DEFAULT_MAX_EXACT_BYTES / 8
+
+
+class TestRouting:
+    def test_auto_routes_small_to_exact(self, asia):
+        decision = QueryPlanner().plan(asia)
+        assert decision.engine == "exact"
+        assert "affordable" in decision.reason
+
+    def test_auto_routes_high_treewidth_to_approx(self):
+        net = grid_network(6, 6, rng=1)
+        planner = QueryPlanner(max_exact_bytes=4096)
+        decision = planner.plan(net)
+        assert decision.engine == "approx"
+        assert "exceeds" in decision.reason
+        assert decision.estimate.total_table_bytes > 4096
+
+    def test_forced_policies(self, asia):
+        planner = QueryPlanner()
+        assert planner.plan(asia, policy="approx").engine == "approx"
+        assert planner.plan(asia, policy="exact").engine == "exact"
+
+    def test_exact_policy_refuses_over_hard_cap(self):
+        net = grid_network(8, 8, rng=2)
+        planner = QueryPlanner(policy="exact", max_exact_bytes=1024,
+                               refuse_exact_bytes=2048)
+        with pytest.raises(PlannerError, match="refusing exact compilation"):
+            planner.plan(net)
+
+    def test_exact_policy_allows_under_cap(self, asia):
+        planner = QueryPlanner(policy="exact", max_exact_bytes=1024,
+                               refuse_exact_bytes=1 << 30)
+        assert planner.plan(asia).engine == "exact"
+
+    def test_chain_always_exact(self):
+        """Width-1 structures stay exact regardless of node count."""
+        net = chain_network(200, rng=0)
+        decision = QueryPlanner().plan(net)
+        assert decision.engine == "exact"
+        assert decision.estimate.width == 1
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PlannerError):
+            QueryPlanner(policy="maybe")
+
+    def test_unknown_per_call_policy_rejected(self, asia):
+        with pytest.raises(PlannerError):
+            QueryPlanner().plan(asia, policy="sometimes")
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(PlannerError):
+            QueryPlanner(max_exact_bytes=2048, refuse_exact_bytes=1024)
