@@ -178,7 +178,18 @@ class ApproxBNI:
         targets: tuple[str, ...] = (),
         soft_evidence: dict | None = None,
     ) -> ApproxInferenceResult:
-        """One approximate inference pass with adaptive escalation."""
+        """One approximate inference pass with adaptive escalation.
+
+        ``evidence`` maps variable names to state labels/indices (hard
+        observations); ``soft_evidence`` maps them to likelihood vectors
+        (one non-negative weight per state).  The population doubles until
+        the worst per-state standard error of the requested ``targets``
+        drops below ``tolerance`` or ``max_samples`` is reached.  Raises
+        :class:`~repro.errors.EvidenceError` for unknown names/states,
+        malformed likelihood vectors, or evidence that kills every
+        particle weight; :class:`~repro.errors.QueryError` for unknown
+        targets.
+        """
         return self.infer_cases(
             [evidence or {}], targets=targets,
             soft_cases=[soft_evidence],
@@ -213,7 +224,17 @@ class ApproxBNI:
         targets: tuple[str, ...] = (),
         soft_cases: "list[dict | None] | None" = None,
     ) -> ApproxBatchResult:
-        """Vectorised multi-case entry point (the micro-batcher's hook)."""
+        """Vectorised multi-case entry point (the micro-batcher's hook).
+
+        All ``cases`` (evidence dicts, optionally paired with per-case
+        ``soft_cases`` likelihood dicts) share **one** particle
+        population per escalation round — common random numbers, one
+        topological pass — so K coalesced cases cost far less than K
+        :meth:`infer` calls.  Raises on an empty case list and propagates
+        the same error classes as :meth:`infer`; an all-zero-weight case
+        is retried with a doubled population before the whole flush
+        fails.
+        """
         if not cases:
             raise EvidenceError("infer_cases needs at least one case")
         hard = [check_net_evidence(self.net, c) for c in cases]
@@ -240,6 +261,7 @@ class ApproxBNI:
         return self.infer(evidence, targets=tuple(targets)).posteriors
 
     def posterior(self, target: str, evidence: dict | None = None) -> np.ndarray:
+        """``P(target | evidence)`` as a probability vector (sampled)."""
         return self.posteriors((target,), evidence)[target]
 
     #: Doublings granted to an all-zero-weight case before giving up:
@@ -355,6 +377,7 @@ class ApproxBNI:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict[str, float]:
+        """Engine configuration summary (the service ``info`` op body)."""
         return {
             "num_samples": float(self.num_samples),
             "max_samples": float(self.max_samples),

@@ -64,7 +64,32 @@ def estimate_jt_cost(net: BayesianNetwork,
 
 
 class QueryPlanner:
-    """Routes networks to the exact or approximate engine class."""
+    """Routes networks to the exact or approximate engine class.
+
+    The planner never compiles anything: a min-fill fill-in simulation
+    over the moral graph (:func:`repro.graph.treewidth.fill_in_cost`)
+    prices the would-be junction tree, and the policy compares that
+    estimate against byte thresholds.
+
+    Parameters
+    ----------
+    policy:
+        Default routing — ``"exact"`` (always compile), ``"approx"``
+        (always sample) or ``"auto"`` (cost-based).  Anything else
+        raises :class:`~repro.errors.PlannerError`.
+    max_exact_bytes:
+        ``auto`` threshold: estimated total clique-table bytes beyond
+        which a network is routed to sampling (default 64 MiB).
+    refuse_exact_bytes:
+        Hard cap for ``policy="exact"``: past this estimate
+        :meth:`plan` raises :class:`~repro.errors.PlannerError` instead
+        of letting a compile thrash or OOM (default 1 GiB; must be
+        >= ``max_exact_bytes``).
+    heuristic:
+        Triangulation heuristic used for the estimate; keep it equal to
+        the engine's compile heuristic or the estimate prices the wrong
+        tree.
+    """
 
     def __init__(self, policy: str = "auto",
                  max_exact_bytes: int = DEFAULT_MAX_EXACT_BYTES,

@@ -101,6 +101,22 @@ def _cmd_frontier(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_incremental(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.incremental import (render_incremental, run_incremental,
+                                         write_incremental)
+
+    overlaps = tuple(float(o) for o in args.overlaps.split(","))
+    report = run_incremental(network=args.network, overlaps=overlaps,
+                             num_queries=args.queries,
+                             evidence_vars=args.evidence_vars, seed=args.seed)
+    print(render_incremental(report))
+    if args.out:
+        write_incremental(report, Path(args.out))
+        print(f"wrote {args.out}")
+
+
 def _cmd_heuristics(args: argparse.Namespace) -> None:
     from repro.bench.ablations import heuristic_study, render_heuristics
 
@@ -303,6 +319,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                             "max_samples": max(args.approx_samples,
                                                DEFAULT_MAX_SAMPLES),
                             "tolerance": args.approx_tolerance},
+            cache=args.cache == "on",
+            cache_options={
+                "max_states": args.cache_states,
+                "max_bytes": int(args.cache_mb * 1024 * 1024),
+                "min_overlap": args.cache_min_overlap,
+            },
             mode=args.mode, backend=args.backend, num_workers=args.workers,
         ))
     except KeyboardInterrupt:
@@ -317,7 +339,8 @@ def _cmd_client(args: argparse.Namespace) -> None:
     evidence = _parse_evidence_arg(args.evidence)
     targets = [t for t in args.targets.split(",") if t] if args.targets else None
     engine = args.engine or None
-    needs_network = args.op not in ("health", "stats", "stats_reset")
+    needs_network = args.op not in ("health", "stats", "stats_reset",
+                                    "cache_stats")
     if needs_network and not args.network:
         raise SystemExit(f"error: op {args.op!r} requires a network argument")
     try:
@@ -427,6 +450,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output JSON path ('' to skip writing)")
     fr.set_defaults(func=_cmd_frontier)
 
+    inc = sub.add_parser("incremental",
+                         help="delta-recalibration speedup vs evidence "
+                              "overlap (writes BENCH_incremental.json)")
+    inc.add_argument("--network", default="asia",
+                     help="bundled/analog name or .bif path")
+    inc.add_argument("--overlaps", default="0.0,0.25,0.5,0.75,0.9,1.0",
+                     help="comma-separated evidence-overlap fractions")
+    inc.add_argument("--queries", type=int, default=200,
+                     help="chained queries per overlap row")
+    inc.add_argument("--evidence-vars", type=int, default=4,
+                     help="observed variables per query")
+    inc.add_argument("--seed", type=int, default=2023)
+    inc.add_argument("--out", default="BENCH_incremental.json",
+                     help="output JSON path ('' to skip writing)")
+    inc.set_defaults(func=_cmd_incremental)
+
     info = sub.add_parser("info", help="network + junction tree statistics")
     info.add_argument("network")
     info.set_defaults(func=_cmd_info)
@@ -483,6 +522,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="starting particle count for approx-served models")
     sv.add_argument("--approx-tolerance", type=float, default=0.01,
                     help="target posterior standard error for approx answers")
+    sv.add_argument("--cache", default="on", choices=("on", "off"),
+                    help="two-tier incremental cache: repeated-evidence "
+                         "queries re-propagate only the changed subtree "
+                         "(default: on)")
+    sv.add_argument("--cache-states", type=int, default=8,
+                    help="calibrated base states kept per model")
+    sv.add_argument("--cache-mb", type=float, default=32.0,
+                    help="per-model cache byte budget (states + result "
+                         "memo), charged against --max-mb")
+    sv.add_argument("--cache-min-overlap", type=float, default=0.5,
+                    help="evidence-overlap fraction below which a query "
+                         "takes the cold vectorised path instead of the "
+                         "delta path (0 forces delta always)")
     sv.add_argument("--mode", default="seq",
                     help="engine mode for served models (default: seq — "
                          "throughput comes from batching, not worker pools)")
@@ -496,7 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "health/stats)")
     cl.add_argument("--op", default="query",
                     choices=("query", "query_batch", "mpe", "info", "health",
-                             "stats", "stats_reset"))
+                             "stats", "stats_reset", "cache_stats"))
     cl.add_argument("--evidence", default="",
                     help='JSON; scalar values are hard evidence, lists are '
                          'soft likelihoods: \'{"smoke": "yes", '

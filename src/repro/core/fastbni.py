@@ -56,9 +56,31 @@ class MessagePlan:
 class FastBNI:
     """Fast parallel exact inference on Bayesian networks.
 
-    See :mod:`repro.core` for the mode semantics.  The engine owns a
-    persistent execution backend; call :meth:`close` (or use it as a
-    context manager) to release pools.
+    Parameters
+    ----------
+    net:
+        A valid :class:`~repro.bn.network.BayesianNetwork` (``validate()``
+        runs during tree compilation and raises
+        :class:`~repro.errors.NetworkError` on malformed CPTs).
+    config / keyword options:
+        Either a :class:`~repro.core.config.FastBNIConfig` object or its
+        fields as keywords (never both — that raises
+        :class:`~repro.errors.BackendError`).  The load-bearing ones:
+        ``mode`` (``"seq"``/``"inter"``/``"intra"``/``"hybrid"``, see
+        :mod:`repro.core`), ``backend`` (``"serial"``/``"thread"``/
+        ``"process"``), ``num_workers``, ``heuristic`` (triangulation) and
+        ``root_strategy``.
+    tree:
+        Optional pre-compiled junction tree (warm start).  Must have been
+        compiled for this exact network *object* —
+        :class:`~repro.errors.JunctionTreeError` otherwise; load
+        serialized trees with :func:`repro.jt.serialize.load_tree` first.
+
+    The engine owns a persistent execution backend; call :meth:`close`
+    (or use it as a context manager) to release pools.  :meth:`infer`
+    raises :class:`~repro.errors.EvidenceError` for unknown evidence
+    variables/states and for evidence whose probability is zero, and
+    :class:`~repro.errors.QueryError` for unknown targets.
     """
 
     def __init__(self, net: BayesianNetwork, config: FastBNIConfig | None = None,

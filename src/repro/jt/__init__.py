@@ -9,6 +9,7 @@ and differ only in *how* they schedule and execute the table operations.
 """
 
 from repro.jt.engine import JunctionTreeEngine
+from repro.jt.incremental import EvidenceDelta, IncrementalEngine
 from repro.jt.structure import Clique, JunctionTree, Separator, compile_junction_tree
 
 __all__ = [
@@ -17,4 +18,6 @@ __all__ = [
     "Separator",
     "compile_junction_tree",
     "JunctionTreeEngine",
+    "IncrementalEngine",
+    "EvidenceDelta",
 ]

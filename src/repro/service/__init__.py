@@ -11,9 +11,12 @@ on every invocation; this package amortises both behind an asyncio server:
   :class:`~repro.core.batch.BatchedFastBNI` calibrations (or, for models
   the :class:`~repro.approx.QueryPlanner` routes to sampling, one shared
   :class:`~repro.approx.ApproxBNI` particle population per flush);
+* :class:`~repro.service.cache.InferenceCache` — two-tier incremental
+  cache per resident model: calibrated states re-propagated by evidence
+  delta (:mod:`repro.jt.incremental`) plus a query-result memo;
 * :class:`~repro.service.server.InferenceServer` — JSON-lines-over-TCP
   front end (``query``, ``query_batch``, ``mpe``, ``info``, ``health``,
-  ``stats``), stdlib only;
+  ``stats``, ``cache_stats``), stdlib only;
 * :class:`~repro.service.metrics.ServiceMetrics` — latency percentiles,
   batch-fill histograms, cache hit rate, throughput;
 * :class:`~repro.service.client.ServiceClient` — blocking client for CLI,
@@ -23,12 +26,14 @@ Start one with ``fastbni serve`` and query it with ``fastbni client``.
 """
 
 from repro.service.batcher import MicroBatcher, QueryRequest
+from repro.service.cache import InferenceCache
 from repro.service.client import ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelRegistry, resolve_network
 from repro.service.server import InferenceServer, run_server
 
 __all__ = [
+    "InferenceCache",
     "InferenceServer",
     "MicroBatcher",
     "ModelEntry",

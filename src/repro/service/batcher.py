@@ -243,6 +243,19 @@ class MicroBatcher:
         entry = self.registry.pin(await self.get_entry(network, kind))
         try:
             engine = entry.engine
+            if kind == "exact" and entry.cache is not None:
+                # Any failure here must fan out to the futures like the
+                # vectorised path's does — a dead flush task would leave
+                # every coalesced client waiting forever.
+                try:
+                    batch = await self._serve_from_cache(entry, batch)
+                except BaseException as exc:  # noqa: BLE001
+                    for pending in batch:
+                        if not pending.future.done():
+                            pending.future.set_exception(exc)
+                    return
+                if not batch:
+                    return
             cases = [pending.request.evidence for pending in batch]
             targets = self._union_targets(batch)
             loop = asyncio.get_running_loop()
@@ -270,14 +283,66 @@ class MicroBatcher:
                         pending.future.set_exception(exc)
                 return
             self.metrics.observe_batch(len(batch))
+            cold_items = []
             for i, pending in enumerate(batch):
                 case_result = result.case(i)
                 self._observe_served(kind, case_result)
+                projected = _project(case_result, pending.request.targets)
+                if kind == "exact" and entry.cache is not None:
+                    cold_items.append((pending.request.evidence,
+                                       pending.request.targets, projected))
                 if not pending.future.done():
-                    pending.future.set_result(
-                        _project(case_result, pending.request.targets))
+                    pending.future.set_result(projected)
+            if cold_items:
+                # Memoise + seed lazy base states so the next
+                # near-duplicate of any of these cases takes the delta
+                # path.  Best-effort: every future above is already
+                # resolved, so a seeding failure must not kill the task.
+                try:
+                    await loop.run_in_executor(
+                        self._executor,
+                        lambda: entry.cache.record_cold(cold_items))
+                except Exception:  # noqa: BLE001 - cache warming only
+                    pass
         finally:
             self.registry.unpin(entry)
+
+    async def _serve_from_cache(self, entry: ModelEntry,
+                                batch: list[_Pending]) -> list[_Pending]:
+        """Tier-1/tier-2 pre-pass; returns the cases left for the cold path.
+
+        Runs :meth:`~repro.service.cache.InferenceCache.serve_cases` on
+        the executor (delta propagation is NumPy work), resolves every
+        answered future with ``served_by`` ``"cache"`` (memo) or
+        ``"delta"`` (incremental recalibration), and hands back the
+        declined remainder so the vectorised flush only calibrates
+        genuinely novel evidence.
+        """
+        requests = [(p.request.evidence, p.request.targets) for p in batch]
+        loop = asyncio.get_running_loop()
+        outcomes = await loop.run_in_executor(
+            self._executor, lambda: entry.cache.serve_cases(requests))
+        remaining: list[_Pending] = []
+        for pending, outcome in zip(batch, outcomes):
+            if outcome is None:
+                remaining.append(pending)
+                continue
+            if isinstance(outcome, BaseException):
+                if not pending.future.done():
+                    pending.future.set_exception(outcome)
+                continue
+            self.metrics.observe_cache_serve(outcome.source, outcome.delta_size)
+            served_by = "cache" if outcome.source == "memo" else "delta"
+            result = InferenceResult(
+                posteriors=dict(outcome.result.posteriors),
+                log_evidence=outcome.result.log_evidence,
+                meta={**outcome.result.meta, "served_by": served_by},
+            )
+            result = _project(result, pending.request.targets)
+            self._observe_served("exact", result)
+            if not pending.future.done():
+                pending.future.set_result(result)
+        return remaining
 
     async def _run_individually(self, entry: ModelEntry,
                                 batch: list[_Pending]) -> None:

@@ -21,9 +21,25 @@ from repro.service.server import DEFAULT_PORT
 class ServiceClient:
     """One TCP connection to a running inference server.
 
-    ``connect_retry_s`` keeps retrying the initial connect for that many
-    seconds — handy when the server is being started in parallel (CI smoke
-    jobs, benchmarks).
+    Parameters
+    ----------
+    host / port:
+        Server address (defaults match ``fastbni serve``'s defaults).
+    timeout:
+        Per-operation socket timeout in seconds (default 30); a stalled
+        server surfaces as ``socket.timeout`` rather than a hang.
+    connect_retry_s:
+        Keep retrying the initial connect for this many seconds — handy
+        when the server is being started in parallel (CI smoke jobs,
+        benchmarks).  0 (default) fails immediately.
+
+    Failure modes: :class:`~repro.errors.ServiceError` when the server is
+    unreachable, closes the connection, or answers ``ok: false`` — in the
+    last case ``error_type`` carries the server-side exception class name
+    (``EvidenceError``, ``PlannerError``, ...) so callers can branch
+    without string matching.  The client is synchronous and single
+    in-flight; concurrency-hungry callers speak the JSON-lines protocol
+    over ``asyncio.open_connection`` instead.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
@@ -109,6 +125,16 @@ class ServiceClient:
     def stats_reset(self) -> dict:
         """Zero the server's metrics counters (clean benchmark windows)."""
         return self.call("stats_reset")
+
+    def cache_stats(self) -> dict:
+        """Per-model incremental-cache counters plus serving totals.
+
+        The response maps resident model keys to their
+        :meth:`repro.service.cache.InferenceCache.stats` dict (states,
+        memo entries, hit rates, bytes, mean delta size); ``served``
+        carries the server-wide memo/delta serving counters.
+        """
+        return self.call("cache_stats")
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -69,6 +69,11 @@ class ServiceMetrics:
         self._engine_cases: Counter[str] = Counter()
         self._ess_sum = 0.0
         self._ess_count = 0
+        #: Incremental-cache serving: tier-2 memo hits, tier-1 delta
+        #: serves, and the total evidence-edit count across delta serves.
+        self._memo_served = 0
+        self._delta_served = 0
+        self._delta_size_sum = 0
 
     def reset(self) -> None:
         """Zero every counter and restart the clock (the ``stats_reset`` op).
@@ -142,6 +147,21 @@ class ServiceMetrics:
             if ess is not None:
                 self._ess_sum += ess
                 self._ess_count += 1
+
+    def observe_cache_serve(self, source: str, delta_size: int = 0) -> None:
+        """One query answered by the inference cache.
+
+        ``source`` is ``"memo"`` (tier-2 result memo) or ``"delta"``
+        (tier-1 incremental recalibration); ``delta_size`` counts the
+        evidence edits the delta path applied — its running mean is the
+        serving-side view of how repetitive the traffic actually is.
+        """
+        with self._lock:
+            if source == "memo":
+                self._memo_served += 1
+            else:
+                self._delta_served += 1
+                self._delta_size_sum += delta_size
 
     def mean_ess(self) -> float:
         """Mean reported ESS over approx-served queries (0 if none)."""
@@ -225,5 +245,11 @@ class ServiceMetrics:
                     "approx_cases": self._engine_cases.get("approx", 0),
                     "mean_ess": (self._ess_sum / self._ess_count
                                  if self._ess_count else 0.0),
+                },
+                "incremental": {
+                    "memo_served": self._memo_served,
+                    "delta_served": self._delta_served,
+                    "mean_delta_size": (self._delta_size_sum / self._delta_served
+                                        if self._delta_served else 0.0),
                 },
             }

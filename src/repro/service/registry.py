@@ -52,6 +52,7 @@ from repro.jt.calibrate import calibrate
 from repro.jt.query import all_posteriors
 from repro.jt.serialize import load_tree, save_tree
 from repro.jt.structure import JunctionTree, TreeState
+from repro.service.cache import InferenceCache
 from repro.service.metrics import ServiceMetrics
 
 #: Default resident-set budget: generous for the bundled/bench networks,
@@ -95,6 +96,16 @@ class ModelEntry:
     pins: int = 0
     #: Set when the entry was evicted while pinned.
     retired: bool = False
+    #: Two-tier incremental cache (exact entries only, ``None`` when the
+    #: registry was built with ``cache=False``).  Lives and dies with the
+    #: entry, so replacing or evicting a model can never leave a stale
+    #: calibrated state or memoised result behind.
+    cache: "InferenceCache | None" = None
+
+    def total_bytes(self) -> int:
+        """Engine residency plus current cache footprint (for the LRU)."""
+        return self.resident_bytes + (self.cache.total_bytes()
+                                      if self.cache is not None else 0)
 
     @property
     def key(self) -> str:
@@ -127,6 +138,8 @@ class ModelRegistry:
                  planner: QueryPlanner | None = None,
                  max_exact_bytes: int | None = None,
                  approx_options: dict | None = None,
+                 cache: bool = True,
+                 cache_options: dict | None = None,
                  **engine_options) -> None:
         if max_bytes <= 0:
             raise NetworkError(f"registry byte budget must be positive, got {max_bytes}")
@@ -135,6 +148,12 @@ class ModelRegistry:
         self.metrics = metrics
         self.engine_options = {"mode": "seq", **engine_options}
         self.approx_options = dict(approx_options or {})
+        #: Incremental-cache policy: ``cache=False`` disables the two-tier
+        #: cache entirely; ``cache_options`` forwards to
+        #: :class:`~repro.service.cache.InferenceCache` (``max_states``,
+        #: ``max_memo``, ``max_bytes``, ``min_overlap``).
+        self.cache_enabled = cache
+        self.cache_options = dict(cache_options or {})
         if planner is not None:
             self.planner = planner
         else:
@@ -278,8 +297,9 @@ class ModelRegistry:
             return tuple(self._entries)
 
     def total_bytes(self) -> int:
+        """Resident bytes across entries, inference caches included."""
         with self._lock:
-            return sum(e.resident_bytes for e in self._entries.values())
+            return sum(e.total_bytes() for e in self._entries.values())
 
     # --------------------------------------------------------------- loading
     def _tree_cache_path(self, name: str) -> Path | None:
@@ -320,6 +340,13 @@ class ModelRegistry:
         calibrate(baseline, engine.schedule)
         prior = all_posteriors(baseline)
 
+        inference_cache = None
+        if self.cache_enabled:
+            inference_cache = InferenceCache(
+                engine.tree,
+                getattr(engine, "_batch_base_cliques", None),
+                **self.cache_options)
+
         return ModelEntry(
             name=name,
             net=net,
@@ -330,6 +357,7 @@ class ModelRegistry:
             engine_kind="exact",
             plan=decision,
             from_cache=from_cache,
+            cache=inference_cache,
             meta={"variables": float(net.num_variables),
                   **{k: float(v) for k, v in engine.stats().items()}},
         )
@@ -380,8 +408,11 @@ class ModelRegistry:
     def _evict_over_budget(self) -> None:
         # Never evict the most-recent entry: a model larger than the whole
         # budget must still be servable while it is the one in use.
+        # Cache bytes count against the same budget (an entry with a fat
+        # cache is a bigger target), so caches shrink the rotation window
+        # instead of silently growing past it.
         while (len(self._entries) > 1
-               and sum(e.resident_bytes for e in self._entries.values())
+               and sum(e.total_bytes() for e in self._entries.values())
                > self.max_bytes):
             _, entry = self._entries.popitem(last=False)
             self._retire(entry)
@@ -410,13 +441,26 @@ class ModelRegistry:
             self._evictions += 1
             return name
 
+    def cache_stats(self) -> dict:
+        """Per-entry inference-cache statistics (the ``cache_stats`` op)."""
+        with self._lock:
+            entries = [(key, e.cache) for key, e in self._entries.items()
+                       if e.cache is not None]
+        return {
+            "enabled": self.cache_enabled,
+            "models": {key: c.stats() for key, c in entries},
+        }
+
     # ------------------------------------------------------------- lifecycle
     def stats(self) -> dict:
         with self._lock:
             return {
                 "loaded": list(self._entries),
-                "resident_bytes": sum(e.resident_bytes
+                "resident_bytes": sum(e.total_bytes()
                                       for e in self._entries.values()),
+                "cache_bytes": sum(e.cache.total_bytes()
+                                   for e in self._entries.values()
+                                   if e.cache is not None),
                 "max_bytes": self.max_bytes,
                 "evictions": self._evictions,
                 "warm_starts": sum(1 for e in self._entries.values()

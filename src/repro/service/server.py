@@ -28,8 +28,15 @@ routing decision.
 Operations: ``query`` (single case, micro-batched), ``query_batch``
 (explicit case list, one vectorised pass), ``mpe`` (most probable
 explanation; exact engine only), ``info`` (network + tree/planner
-statistics), ``health``, ``stats`` (serving metrics snapshot) and
-``stats_reset`` (zero the counters, for clean benchmark windows).
+statistics), ``health``, ``stats`` (serving metrics snapshot),
+``stats_reset`` (zero the counters, for clean benchmark windows) and
+``cache_stats`` (per-model incremental-cache counters).
+
+Repeated-evidence traffic is served by the two-tier incremental cache
+(:mod:`repro.service.cache`) when the registry has it enabled (the
+default): a ``query`` response's ``served_by`` field then reports
+``"cache"`` (result memo) or ``"delta"`` (incremental recalibration of a
+near-matching calibrated state) instead of ``"batch"``.
 
 Failures map onto the :mod:`repro.errors` hierarchy: the response's
 ``error.type`` is the exception class name (``EvidenceError``,
@@ -279,6 +286,8 @@ class InferenceServer:
             return self._op_stats()
         if op == "stats_reset":
             return self._op_stats_reset()
+        if op == "cache_stats":
+            return self._op_cache_stats()
         network = request.get("network")
         if not isinstance(network, str) or not network:
             raise QueryError(f"op {op!r} requires a 'network' string field")
@@ -292,7 +301,7 @@ class InferenceServer:
             return await self._op_info(network, request)
         raise QueryError(
             f"unknown op {op!r}; expected one of query, query_batch, mpe, "
-            f"info, health, stats, stats_reset"
+            f"info, health, stats, stats_reset, cache_stats"
         )
 
     async def _op_query(self, network: str, request: dict) -> dict:
@@ -307,12 +316,17 @@ class InferenceServer:
                              soft_evidence=soft or None, engine=engine)
         result = await self.batcher.submit(network, query)
         approx = isinstance(result, ApproxInferenceResult)
+        # The cache pre-pass stamps its serving tier into result.meta;
+        # everything else keeps the PR-2 classification.
+        served_by = result.meta.get("served_by") if result.meta else None
+        if served_by is None:
+            served_by = ("single" if soft and not approx
+                         else "baseline" if not hard and not soft
+                         else "batch")
         return {
             "posteriors": result.posteriors,
             "log_evidence": _finite_or_none(result.log_evidence),
-            "served_by": ("single" if soft and not approx
-                          else "baseline" if not hard and not soft
-                          else "batch"),
+            "served_by": served_by,
             **_result_fields(result),
         }
 
@@ -432,6 +446,12 @@ class InferenceServer:
         """Zero the metrics counters (registry residency is untouched)."""
         self.metrics.reset()
         return {"reset": True}
+
+    def _op_cache_stats(self) -> dict:
+        """Per-model incremental-cache statistics plus serving totals."""
+        stats = self.registry.cache_stats()
+        stats["served"] = self.metrics.snapshot()["incremental"]
+        return stats
 
 
 async def run_server(host: str, port: int, *, preload=(),

@@ -1,0 +1,75 @@
+"""Tier-1 wrapper around the executable-documentation checker.
+
+CI's docs job runs ``tools/check_docs.py`` in full (doc blocks + links +
+all examples); here the fast parts run inside the normal suite so a doc
+regression fails locally too.  Example execution is covered separately by
+``tests/test_examples.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestDocsSite:
+    def test_docs_exist_and_are_indexed(self):
+        docs = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
+        # The ISSUE's required pages.
+        for page in ("index.md", "operations.md", "dataflow.md",
+                     "contributing.md", "pipeline.md", "engines.md",
+                     "parallel.md", "service.md", "approx.md",
+                     "incremental.md"):
+            assert page in docs, f"docs/{page} missing"
+        index = (REPO_ROOT / "docs" / "index.md").read_text()
+        for page in sorted(docs - {"index.md"}):
+            assert page in index, f"docs/index.md does not link {page}"
+
+    def test_every_python_block_executes(self):
+        failures = []
+        for path in checker.doc_files():
+            failures += checker.check_blocks(path, verbose=False)
+        assert not failures, "\n".join(failures)
+
+    def test_all_intra_doc_links_resolve(self):
+        failures = []
+        for path in checker.doc_files():
+            failures += checker.check_links(path)
+        assert not failures, "\n".join(failures)
+
+    def test_readme_is_checked_too(self):
+        assert (REPO_ROOT / "README.md") in checker.doc_files()
+
+    def test_slugging_matches_github_for_our_headings(self):
+        assert checker.github_slug("The `BENCH_*.json` artifacts") == \
+            "the-bench_json-artifacts"
+        assert checker.github_slug("Cache tuning") == "cache-tuning"
+
+    def test_checker_cli_reports_failures(self, tmp_path, monkeypatch):
+        """A broken block or link must fail the run (exit code 1)."""
+        bad = tmp_path / "docs"
+        bad.mkdir()
+        (bad / "broken.md").write_text(
+            "# x\n```python\nraise RuntimeError('boom')\n```\n"
+            "[gone](missing.md)\n")
+        monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+        monkeypatch.setattr(checker, "DOC_FILES", [])
+        failures = []
+        for path in checker.doc_files():
+            failures += checker.check_blocks(path, verbose=False)
+            failures += checker.check_links(path)
+        assert len(failures) == 2

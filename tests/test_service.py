@@ -202,9 +202,9 @@ class TestModelRegistry:
 
 
 # --------------------------------------------------------------------- batcher
-def _make_batcher(**kwargs):
+def _make_batcher(cache: bool = True, **kwargs):
     metrics = ServiceMetrics()
-    registry = ModelRegistry(metrics=metrics)
+    registry = ModelRegistry(metrics=metrics, cache=cache)
     return MicroBatcher(registry, metrics=metrics, **kwargs), registry
 
 
@@ -214,7 +214,10 @@ class TestMicroBatcher:
                  generate_test_cases(asia, 40, observed_fraction=0.2, rng=11)]
 
         async def scenario():
-            batcher, registry = _make_batcher(max_batch=16, max_wait_ms=5.0)
+            # cache=False pins the pure vectorised path; the cached path's
+            # equivalence is pinned separately in tests/test_cache.py.
+            batcher, registry = _make_batcher(cache=False,
+                                              max_batch=16, max_wait_ms=5.0)
             try:
                 results = await asyncio.gather(*[
                     batcher.submit("asia", QueryRequest(evidence=case))
@@ -375,7 +378,11 @@ class TestInferenceServer:
                  generate_test_cases(asia, 100, observed_fraction=0.2, rng=7)]
 
         async def scenario():
-            server = InferenceServer(port=0, max_batch=32, max_wait_ms=5.0)
+            # cache=False: this acceptance test pins the vectorised
+            # micro-batching path (every case served_by "batch"); the
+            # cached path has its own acceptance in tests/test_cache.py.
+            server = InferenceServer(port=0, max_batch=32, max_wait_ms=5.0,
+                                     cache=False)
             await server.start()
 
             async def one(i: int) -> dict:

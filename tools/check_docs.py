@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Executable-documentation checker (the CI docs job).
+
+Three guarantees, so the docs cannot silently rot:
+
+1. every fenced ``python`` code block in ``docs/**/*.md`` and
+   ``README.md`` **executes** — blocks in one file run top-to-bottom in a
+   shared namespace (a page is one narrative), with the repo root as the
+   working directory and ``src/`` importable;
+2. every relative markdown link (and ``#anchor`` fragment) in those
+   files resolves — to an existing file, and to a real heading when a
+   fragment is given (GitHub slug rules);
+3. every script in ``examples/`` runs to completion (``--skip-examples``
+   to omit; the heavy one takes ~a minute).
+
+Blocks that must not execute use a plain fence or any other info string
+(```` ```text ````, ```` ```bash ````, …).
+
+Exit code 0 = everything passed; failures print a per-item report.
+Usage: ``python tools/check_docs.py [--skip-examples] [--verbose]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md"]
+EXAMPLE_TIMEOUT_S = 600
+
+_FENCE_RE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.S | re.M)
+#: Markdown links/images: [text](target) — code spans are not parsed, so
+#: keep doc prose free of literal ``](`` outside real links.
+_LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.M)
+
+
+def doc_files() -> list[Path]:
+    docs = sorted((REPO_ROOT / "docs").rglob("*.md"))
+    return [p for p in DOC_FILES if p.exists()] + docs
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(line_number, source)`` for every executable ``python`` block."""
+    blocks = []
+    for match in _FENCE_RE.finditer(text):
+        info = match.group(1).strip().lower()
+        if info == "python":
+            line = text[: match.start()].count("\n") + 2
+            blocks.append((line, match.group(2)))
+    return blocks
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (enough of it for our docs).
+
+    Emphasis markers are stripped but underscores are kept — GitHub's
+    slugger preserves ``_`` from code spans.
+    """
+    slug = re.sub(r"[`*~]", "", heading.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_blocks(path: Path, verbose: bool) -> list[str]:
+    failures = []
+    namespace: dict = {"__name__": "__main__"}
+    for line, source in python_blocks(path.read_text()):
+        label = f"{path.relative_to(REPO_ROOT)}:{line}"
+        if verbose:
+            print(f"  exec {label}")
+        try:
+            code = compile(source, str(label), "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs
+        except Exception:
+            failures.append(
+                f"{label}: code block failed\n{traceback.format_exc(limit=3)}")
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    text = path.read_text()
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (REPO_ROOT / file_part.lstrip("/") if target.startswith("/")
+                        else (path.parent / file_part)).resolve()
+            if not resolved.exists():
+                failures.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                                f"-> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            slugs = {github_slug(h) for h in _HEADING_RE.findall(resolved.read_text())}
+            if fragment not in slugs:
+                failures.append(f"{path.relative_to(REPO_ROOT)}: broken anchor "
+                                f"-> {target}")
+    return failures
+
+
+def check_examples(verbose: bool) -> list[str]:
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    for script in sorted((REPO_ROOT / "examples").glob("*.py")):
+        label = script.relative_to(REPO_ROOT)
+        if verbose:
+            print(f"  run  {label}")
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(script)], cwd=REPO_ROOT, env=env,
+                capture_output=True, text=True, timeout=EXAMPLE_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            failures.append(f"{label}: timed out after {EXAMPLE_TIMEOUT_S}s")
+            continue
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.strip().splitlines()[-12:])
+            failures.append(f"{label}: exited {proc.returncode}\n{tail}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-examples", action="store_true",
+                        help="only check doc code blocks and links")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    os.chdir(REPO_ROOT)
+
+    failures: list[str] = []
+    files = doc_files()
+    blocks = 0
+    for path in files:
+        blocks += len(python_blocks(path.read_text()))
+        failures += check_blocks(path, args.verbose)
+        failures += check_links(path)
+    examples = 0
+    if not args.skip_examples:
+        examples = len(list((REPO_ROOT / "examples").glob("*.py")))
+        failures += check_examples(args.verbose)
+
+    if failures:
+        print(f"\nFAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"- {failure}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(files)} files, {blocks} python blocks executed, "
+          f"links resolved, {examples} examples ran")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
