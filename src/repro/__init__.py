@@ -30,6 +30,7 @@ from repro.bn.repository import PAPER_NETWORKS, load_network
 from repro.bn.sampling import TestCase, forward_sample, generate_test_cases
 from repro.approx import ApproxBNI, QueryPlanner
 from repro.core import BatchedFastBNI, FastBNI, FastBNIConfig
+from repro.exec import EngineCapabilities, InferenceEngine
 from repro.jt import JunctionTreeEngine
 from repro.jt.engine import BatchInferenceResult, InferenceResult
 
@@ -45,6 +46,8 @@ __all__ = [
     "BatchedFastBNI",
     "FastBNIConfig",
     "JunctionTreeEngine",
+    "EngineCapabilities",
+    "InferenceEngine",
     "InferenceResult",
     "BatchInferenceResult",
     "TestCase",

@@ -24,6 +24,7 @@ from repro.approx.gibbs import BlanketTerm, GibbsSampler, compile_blankets
 from repro.approx.lw import LWAccumulator, sample_population
 from repro.bn.network import BayesianNetwork
 from repro.errors import BackendError, EvidenceError
+from repro.exec.engine_api import APPROX_ENGINE
 from repro.jt.engine import InferenceResult
 from repro.utils.rng import as_rng
 
@@ -127,6 +128,9 @@ class ApproxBNI:
         :meth:`infer` call reproducible in isolation.
     """
 
+    #: Capability flags the service layers dispatch on.
+    capabilities = APPROX_ENGINE
+
     def __init__(self, net: BayesianNetwork, method: str = "lw",
                  num_samples: int = 1024,
                  max_samples: int = DEFAULT_MAX_SAMPLES,
@@ -160,6 +164,14 @@ class ApproxBNI:
     @property
     def name(self) -> str:
         return f"approxbni-{self.method}"
+
+    # ------------------------------------------------------------- validation
+    def validate_case(self, evidence: dict | None = None,
+                      soft_evidence: dict | None = None) -> None:
+        """Check one request's evidence without sampling (protocol hook)."""
+        check_net_evidence(self.net, evidence)
+        if soft_evidence:
+            check_net_soft_evidence(self.net, soft_evidence)
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:

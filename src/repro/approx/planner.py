@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.bn.network import BayesianNetwork
 from repro.errors import PlannerError
+from repro.exec.engine_api import CAPABILITIES_BY_KIND, EngineCapabilities
 from repro.graph.moralize import moralize
 from repro.graph.treewidth import EliminationCost, fill_in_cost
 
@@ -53,6 +54,16 @@ class PlanDecision:
     estimate: EliminationCost
     #: Human-readable justification (surfaced by the service ``info`` op).
     reason: str
+
+    @property
+    def capabilities(self) -> EngineCapabilities:
+        """Capability flags of the chosen engine class.
+
+        Downstream layers (registry, server) dispatch on these — a
+        routing decision hands back *what the engine can do*, not a bare
+        string to compare against.
+        """
+        return CAPABILITIES_BY_KIND[self.engine]
 
 
 def estimate_jt_cost(net: BayesianNetwork,

@@ -1,0 +1,175 @@
+"""Kernel-backend benchmark: fused vs numpy over the shared plan.
+
+Measures the unified execution layer's hot paths on one network
+(default: the hailfinder analog at bench scale):
+
+* **single-case calibration** (the headline row) — arena state + evidence
+  absorption + one full message schedule per case, the path the paper's
+  dispatch-frequency argument targets: the ``numpy`` backend re-pays
+  NumPy's reduction/broadcast setup per table operation, the ``fused``
+  backend executes each message as single scatter/gather passes through
+  the plan's precompiled index maps;
+* **full inference** — calibration plus the all-variables posterior read
+  (shared plan geometry, backend-independent), for context;
+* **batched calibration** — ``BatchedFastBNI.infer_cases`` over the whole
+  case list in one schedule pass per backend.
+
+Every row cross-checks posteriors between backends (``max_abs_diff`` must
+sit at float64 round-off) so the speedup numbers can never come from
+diverging answers.  ``python -m repro.cli execbench`` renders the table
+and writes ``BENCH_exec.json``; ``tools/check_bench.py`` compares a fresh
+run against the committed artifact and fails CI on regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bn.repository import resolve_network
+from repro.bn.sampling import generate_test_cases
+from repro.core import BatchedFastBNI, FastBNI
+from repro.exec.kernels import KERNELS
+
+#: Benchmark schema version (bumped when row keys change).
+SCHEMA = 1
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds of ``repeats`` runs (noise floor, not mean)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _max_posterior_diff(a, b, names) -> float:
+    return max(
+        float(np.max(np.abs(a.posteriors[name] - b.posteriors[name])))
+        for name in names
+    )
+
+
+def run_execbench(network: str = "hailfinder", num_cases: int = 24,
+                  repeats: int = 3, seed: int = 2023) -> dict:
+    """Time both kernel backends on ``network``; returns the report dict."""
+    net = resolve_network(network)
+    cases = [c.evidence for c in
+             generate_test_cases(net, num_cases, observed_fraction=0.2,
+                                 rng=seed)]
+    names = tuple(net.variable_names)
+
+    rows: list[dict] = []
+    single_ms: dict[str, float] = {}
+    batch_ms: dict[str, float] = {}
+    check_results: dict[str, object] = {}
+
+    infer_ms: dict[str, float] = {}
+    for kernels in KERNELS:
+        with FastBNI(net, mode="seq", kernels=kernels) as engine:
+            engine.infer(cases[0])  # warm: plan, base tables, maps
+
+            def calibrate_loop(engine=engine):
+                from repro.exec.kernels import run_message_schedule
+
+                for case in cases:
+                    state = engine.plan.fresh_state()
+                    engine.plan.absorb_hard_evidence(state, case)
+                    run_message_schedule(engine.plan, state, engine.kernels,
+                                         map_limit=engine.MAP_CACHE_LIMIT)
+
+            best = _best_of(repeats, calibrate_loop)
+            single_ms[kernels] = best / len(cases) * 1e3
+            rows.append({
+                "path": "calibrate", "kernels": kernels,
+                "cases": len(cases),
+                "ms_per_case": single_ms[kernels],
+            })
+
+            def infer_loop(engine=engine):
+                for case in cases:
+                    engine.infer(case)
+
+            best = _best_of(repeats, infer_loop)
+            infer_ms[kernels] = best / len(cases) * 1e3
+            check_results[f"single:{kernels}"] = engine.infer(cases[0])
+            rows.append({
+                "path": "infer", "kernels": kernels,
+                "cases": len(cases),
+                "ms_per_case": infer_ms[kernels],
+            })
+
+        with BatchedFastBNI(net, mode="seq", kernels=kernels) as engine:
+            engine.prepare_baseline()
+            engine.infer_cases(cases[:2])  # warm
+            best = _best_of(repeats, lambda e=engine: e.infer_cases(cases))
+            batch_ms[kernels] = best / len(cases) * 1e3
+            check_results[f"batch:{kernels}"] = engine.infer_cases(cases).case(0)
+            rows.append({
+                "path": "batch", "kernels": kernels,
+                "cases": len(cases),
+                "ms_per_case": batch_ms[kernels],
+            })
+
+    # Backends must agree bit-for-bit (to float64 round-off) on every path.
+    max_diff = max(
+        _max_posterior_diff(check_results["single:fused"],
+                            check_results["single:numpy"], names),
+        _max_posterior_diff(check_results["batch:fused"],
+                            check_results["batch:numpy"], names),
+        _max_posterior_diff(check_results["single:fused"],
+                            check_results["batch:fused"], names),
+    )
+
+    return {
+        "schema": SCHEMA,
+        "network": network,
+        "num_cases": num_cases,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "rows": rows,
+        "single_case": {
+            "numpy_ms": single_ms["numpy"],
+            "fused_ms": single_ms["fused"],
+            "speedup_fused": single_ms["numpy"] / single_ms["fused"],
+        },
+        "full_infer": {
+            "numpy_ms": infer_ms["numpy"],
+            "fused_ms": infer_ms["fused"],
+            "speedup_fused": infer_ms["numpy"] / infer_ms["fused"],
+        },
+        "batch": {
+            "numpy_ms": batch_ms["numpy"],
+            "fused_ms": batch_ms["fused"],
+            "speedup_fused": batch_ms["numpy"] / batch_ms["fused"],
+        },
+        "max_abs_diff": max_diff,
+    }
+
+
+def render_execbench(report: dict) -> str:
+    lines = [
+        f"exec kernels on {report['network']} "
+        f"({report['num_cases']} cases, best of {report['repeats']}):",
+        f"  {'path':<8} {'kernels':<8} {'ms/case':>10}",
+    ]
+    for row in report["rows"]:
+        lines.append(f"  {row['path']:<8} {row['kernels']:<8} "
+                     f"{row['ms_per_case']:>10.3f}")
+    lines.append(
+        f"  fused speedup: {report['single_case']['speedup_fused']:.2f}x "
+        f"single-case, {report['batch']['speedup_fused']:.2f}x batched "
+        f"(max |diff| = {report['max_abs_diff']:.2e})"
+    )
+    return "\n".join(lines)
+
+
+def write_execbench(report: dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")

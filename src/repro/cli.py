@@ -15,6 +15,9 @@ Subcommands regenerate every table/figure of the evaluation:
   sampler, or lets the cost planner decide;
 * ``frontier``    — exact-vs-approx accuracy/latency frontier
   (``BENCH_approx.json``);
+* ``execbench``   — kernel-backend benchmark, fused vs numpy over the
+  shared execution plan (``BENCH_exec.json``, guarded in CI by
+  ``tools/check_bench.py``);
 * ``serve``       — long-lived inference server (compiled-model registry +
   dynamic micro-batching + exact/approx query planner, JSON-lines over
   TCP);
@@ -117,6 +120,20 @@ def _cmd_incremental(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_execbench(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.execbench import (render_execbench, run_execbench,
+                                       write_execbench)
+
+    report = run_execbench(network=args.network, num_cases=args.cases,
+                           repeats=args.repeats, seed=args.seed)
+    print(render_execbench(report))
+    if args.out:
+        write_execbench(report, Path(args.out))
+        print(f"wrote {args.out}")
+
+
 def _cmd_heuristics(args: argparse.Namespace) -> None:
     from repro.bench.ablations import heuristic_study, render_heuristics
 
@@ -129,6 +146,8 @@ def _cmd_info(args: argparse.Namespace) -> None:
     from repro.jt.root import select_root
     from repro.jt.structure import compile_junction_tree
 
+    from repro.exec.plan import compile_plan
+
     net = _load_any(args.network)
     print(net.summary())
     tree = compile_junction_tree(net)
@@ -136,6 +155,7 @@ def _cmd_info(args: argparse.Namespace) -> None:
     schedule = compute_layers(tree)
     stats = tree.stats()
     stats["num_layers"] = schedule.num_layers
+    stats.update(compile_plan(tree, schedule).stats())
     for k, v in stats.items():
         print(f"  {k}: {v}")
 
@@ -177,7 +197,7 @@ def _make_query_engine(args: argparse.Namespace, net):
                          max_samples=max(args.samples, DEFAULT_MAX_SAMPLES),
                          tolerance=args.tolerance, seed=args.seed)
     return FastBNI(net, mode=args.mode, backend=args.backend,
-                   num_workers=args.workers)
+                   num_workers=args.workers, kernels=args.kernels)
 
 
 def _cmd_query(args: argparse.Namespace) -> None:
@@ -243,7 +263,7 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
     targets = tuple(args.targets.split(",")) if args.targets else ()
     if args.engine == "exact":
         chosen = BatchedFastBNI(net, mode=args.mode, backend=args.backend,
-                                num_workers=args.workers)
+                                num_workers=args.workers, kernels=args.kernels)
     else:
         chosen = _make_query_engine(args, net)
         if isinstance(chosen, FastBNI):
@@ -251,7 +271,8 @@ def _run_batch_query(args: argparse.Namespace, net, evidence) -> None:
             # vectorised engine, not the per-case FastBNI.
             chosen.close()
             chosen = BatchedFastBNI(net, mode=args.mode, backend=args.backend,
-                                    num_workers=args.workers)
+                                    num_workers=args.workers,
+                                    kernels=args.kernels)
     approx = not isinstance(chosen, BatchedFastBNI)
     with chosen as engine:
         start = time.perf_counter()
@@ -326,6 +347,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 "min_overlap": args.cache_min_overlap,
             },
             mode=args.mode, backend=args.backend, num_workers=args.workers,
+            kernels=args.kernels,
         ))
     except KeyboardInterrupt:
         pass
@@ -466,6 +488,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output JSON path ('' to skip writing)")
     inc.set_defaults(func=_cmd_incremental)
 
+    eb = sub.add_parser("execbench",
+                        help="kernel-backend benchmark: fused vs numpy over "
+                             "the shared plan (writes BENCH_exec.json)")
+    eb.add_argument("--network", default="hailfinder",
+                    help="bundled/analog name or .bif path")
+    eb.add_argument("--cases", type=int, default=24,
+                    help="seeded evidence cases (20%% observed)")
+    eb.add_argument("--repeats", type=int, default=3,
+                    help="timing repetitions (best-of)")
+    eb.add_argument("--seed", type=int, default=2023)
+    eb.add_argument("--out", default="BENCH_exec.json",
+                    help="output JSON path ('' to skip writing)")
+    eb.set_defaults(func=_cmd_execbench)
+
     info = sub.add_parser("info", help="network + junction tree statistics")
     info.add_argument("network")
     info.set_defaults(func=_cmd_info)
@@ -494,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--mode", default="hybrid")
     q.add_argument("--backend", default="thread")
     q.add_argument("--workers", type=int, default=4)
+    q.add_argument("--kernels", default="fused", choices=("fused", "numpy"),
+                   help="whole-message kernel backend: fused flat-arena "
+                        "passes (default) or the numpy ndview reference; "
+                        "drives the seq and batched paths — single queries "
+                        "need --mode seq (parallel modes chunk their own "
+                        "kernels)")
     q.set_defaults(func=_cmd_query)
 
     sv = sub.add_parser("serve", help="run the resident inference server "
@@ -540,6 +582,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "throughput comes from batching, not worker pools)")
     sv.add_argument("--backend", default="thread")
     sv.add_argument("--workers", type=int, default=1)
+    sv.add_argument("--kernels", default="fused", choices=("fused", "numpy"),
+                    help="whole-message kernel backend for served models "
+                         "(info/stats report the active one)")
     sv.set_defaults(func=_cmd_serve)
 
     cl = sub.add_parser("client", help="query a running inference server")

@@ -9,14 +9,14 @@ Python-level traversals, each built from small NumPy calls whose fixed
 per-call overhead dominates on mid-sized tables.
 
 This module vectorises the *case axis* instead.  Every clique and
-separator potential is materialised as an ``(N, table_size)`` array (one
-row per case), all cases' evidence is absorbed in one vectorised pass, and
-the precomputed layer schedule runs **once** with batched kernels
-(:func:`repro.core.primitives.marg_batch_chunk` /
-:func:`~repro.core.primitives.absorb_batch_chunk`) that broadcast the same
-stride-triple index maps over the leading case axis.  The 2000-case
-workload becomes one pass of large contiguous NumPy operations —
-``O(messages)`` C-level calls in total instead of ``O(messages × cases)``.
+separator potential lives in one table-major batch arena (``(N, size)``
+blocks, allocated by :meth:`repro.exec.plan.MessagePlan.fresh_batch_state`),
+all cases' evidence is absorbed in one vectorised pass, and the compiled
+plan's layer schedule runs **once**, each message executed by the engine's
+kernel backend (:meth:`repro.exec.kernels.KernelBackend.message_batch`) as
+a ``(k, table)``-wide operation.  The 2000-case workload becomes one pass
+of large contiguous NumPy operations — ``O(messages)`` C-level calls in
+total instead of ``O(messages × cases)``.
 
 Parallelism composes on the orthogonal axis: case rows are independent, so
 the batch is split into contiguous case *blocks*
@@ -24,13 +24,15 @@ the batch is split into contiguous case *blocks*
 calibration is dispatched as a single task to the engine's backend — one
 dispatch per block for the whole batch, not two per layer.  On the process
 backend the batched tables live in a :class:`~repro.parallel.sharedmem.
-SharedArena` sized for the batch.
+SharedArena` sized for the batch, and the worker receives the picklable
+:class:`~repro.exec.plan.PlanSpec` plus the kernel backend's *name* (a few
+kilobytes), never the tree.
 
 Correctness contract: row *i* of every batched table evolves exactly as a
 per-case :class:`~repro.jt.structure.TreeState` would for case *i* (same
-index maps, same normalisation points), so ``BatchedFastBNI`` results
-match ``FastBNI.infer`` case-by-case to float64 round-off; the test suite
-pins both against the enumeration oracle.
+geometry, same normalisation points), so ``BatchedFastBNI`` results match
+``FastBNI.infer`` case-by-case to float64 round-off; the test suite pins
+both against the enumeration oracle.
 
 Limits: hard evidence only (soft/virtual evidence would need per-case
 likelihood columns; ``FastBNI.infer_batch(vectorized=True)`` detects it
@@ -39,19 +41,18 @@ and falls back to the per-case loop).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
-from repro.core.fastbni import FastBNI, MessagePlan
+from repro.core.fastbni import FastBNI
 from repro.errors import EvidenceError
+from repro.exec.kernels import get_kernels
+from repro.exec.plan import PlanSpec
 from repro.jt.engine import BatchInferenceResult
-from repro.jt.evidence import absorb_evidence_batch
 from repro.jt.query import all_posteriors_batch, log_evidence_batch
 from repro.parallel.chunking import chunk_cases
 from repro.parallel.sharedmem import ArrayRef, SharedArena
-from repro.core.primitives import absorb_batch_chunk, marg_batch_chunk
 
 
 def case_evidence(case) -> dict:
@@ -64,52 +65,11 @@ def case_soft_evidence(case):
     return None if isinstance(case, Mapping) else getattr(case, "soft_evidence", None)
 
 
-@dataclass(frozen=True)
-class BatchPlan:
-    """Picklable message schedule for batched calibration.
-
-    ``plans`` reuses the engine's per-edge :class:`MessagePlan` stride
-    triples verbatim; ``up_layers``/``down_layers`` list the message-keying
-    child cliques per BFS layer (deepest-first for collect,
-    shallowest-first for distribute).
-    """
-
-    plans: dict[int, MessagePlan]
-    up_layers: tuple[tuple[int, ...], ...]
-    down_layers: tuple[tuple[int, ...], ...]
-
-    @property
-    def num_messages(self) -> int:
-        return 2 * len(self.plans)
-
-
-def build_batch_plan(engine: FastBNI) -> BatchPlan:
-    """Derive (and cache on the engine) the batched message schedule."""
-    plan = getattr(engine, "_batch_plan", None)
-    if plan is None:
-        layers = engine.schedule.clique_layers
-        plan = BatchPlan(
-            plans=dict(engine.plans),
-            up_layers=tuple(layers[d] for d in range(len(layers) - 1, 0, -1)),
-            down_layers=tuple(layers[d] for d in range(1, len(layers))),
-        )
-        engine._batch_plan = plan
-    return plan
-
-
-def _base_clique_values(engine: FastBNI) -> list[np.ndarray]:
-    """CPT-product clique tables, computed once per engine and reused."""
-    base = getattr(engine, "_batch_base_cliques", None)
-    if base is None:
-        base = [p.values for p in engine.tree.fresh_state().clique_pot]
-        engine._batch_base_cliques = base
-    return base
-
-
 def calibrate_case_block(
     clique_refs: list[ArrayRef],
     sep_refs: list[ArrayRef],
-    plan: BatchPlan,
+    spec: PlanSpec,
+    kernels_name: str,
     n: int,
     row_lo: int,
     row_hi: int,
@@ -118,47 +78,40 @@ def calibrate_case_block(
     """Two-phase calibration of case rows ``[row_lo, row_hi)``.
 
     The batched analogue of one full collect+distribute pass: every message
-    of the layer schedule runs once, each as a ``(k, table)``-wide kernel
-    over the block's ``k`` cases.  Blocks touch disjoint rows of every
-    table, so any number of blocks runs concurrently with no
+    of the plan's layer schedule runs once, each as a ``(k, table)``-wide
+    kernel over the block's ``k`` cases.  Blocks touch disjoint rows of
+    every table, so any number of blocks runs concurrently with no
     synchronisation; returns the block's per-case ``log_norm`` vector.
 
     Runs unchanged on the serial, thread and process backends (``maps`` is
-    empty across a process boundary — index maps are then recomputed from
-    the stride triples on the fly, as in the per-case kernels).
+    empty across a process boundary — the gather-based ``fused`` backend
+    then recomputes maps from the stride triples on the fly; the ndview
+    ``numpy`` backend never needs them).
     """
+    kernels = get_kernels(kernels_name)
     k = row_hi - row_lo
     log_norm = np.zeros(k)
+    no_maps = (None, None)
 
     def send(child: int, upward: bool) -> None:
-        mp = plan.plans[child]
-        src, dst = (child, mp.parent) if upward else (mp.parent, child)
-        marg_triples = mp.marg_up if upward else mp.marg_down
-        absorb_triples = mp.absorb_up if upward else mp.absorb_down
-        new_sep = marg_batch_chunk(clique_refs[src], n, row_lo, row_hi,
-                                   marg_triples, mp.sep_size,
-                                   maps.get((src, mp.sep_id)))
-        totals = new_sep.sum(axis=1)
-        bad = np.flatnonzero(~(totals > 0.0))
-        if bad.size:
-            raise EvidenceError(
-                "evidence has zero probability (empty message) in case "
-                f"{row_lo + bad[0]}"
-            )
-        new_sep /= totals[:, None]
+        edge = spec.edges[child]
+        src, dst = (child, edge.parent) if upward else (edge.parent, child)
+        src_rows = clique_refs[src].resolve().reshape(n, -1)[row_lo:row_hi]
+        dst_rows = clique_refs[dst].resolve().reshape(n, -1)[row_lo:row_hi]
+        sep_rows = sep_refs[edge.sep_id].resolve().reshape(n, -1)[row_lo:row_hi]
+        if kernels.wants_maps:
+            mm = (maps.get((src, edge.sep_id)), maps.get((dst, edge.sep_id)))
+        else:
+            mm = no_maps
+        log_totals = kernels.message_batch(src_rows, dst_rows, sep_rows, edge,
+                                           upward, mm, case_offset=row_lo)
         if upward:
-            log_norm[...] += np.log(totals)
-        old_sep = sep_refs[mp.sep_id].resolve().reshape(n, mp.sep_size)[row_lo:row_hi]
-        ratio = np.zeros_like(new_sep)
-        np.divide(new_sep, old_sep, out=ratio, where=old_sep != 0)
-        old_sep[:] = new_sep
-        absorb_batch_chunk(clique_refs[dst], n, row_lo, row_hi,
-                           ((absorb_triples, maps.get((dst, mp.sep_id)), ratio),))
+            log_norm[...] += log_totals
 
-    for layer in plan.up_layers:
+    for layer in spec.up_layers:
         for cid in layer:
             send(cid, upward=True)
-    for layer in plan.down_layers:
+    for layer in spec.down_layers:
         for cid in layer:
             send(cid, upward=False)
     return log_norm
@@ -177,7 +130,7 @@ def infer_cases(
     blocks_per_worker: int = 1,
     min_block: int = MIN_CASE_BLOCK,
 ) -> BatchInferenceResult:
-    """Calibrate all ``cases`` on ``engine``'s compiled tree in one batch.
+    """Calibrate all ``cases`` on ``engine``'s compiled plan in one batch.
 
     Cases are ``TestCase``-like objects (``.evidence`` mapping names to
     states) or plain evidence dicts; they may observe heterogeneous
@@ -197,32 +150,36 @@ def infer_cases(
                                     meta={"cases": 0.0, "blocks": 0.0})
 
     tree = engine.tree
-    plan = build_batch_plan(engine)
-    state = tree.fresh_batch_state(n, _base_clique_values(engine))
-    absorb_evidence_batch(state, [case_evidence(c) for c in cases])
+    plan = engine.plan
+    spec = plan.spec
+    state = plan.fresh_batch_state(n)
+    plan.absorb_evidence_batch(state, [case_evidence(c) for c in cases])
 
-    # Warm the per-edge index-map cache serially (read-only once dispatched;
-    # returns nothing on the process backend, whose workers recompute maps).
+    # Warm the plan's index-map cache serially (read-only once dispatched;
+    # empty on the process backend, whose workers recompute maps — and
+    # skipped entirely when the kernel backend never gathers).
     maps: dict[tuple[int, int], np.ndarray] = {}
-    for mp in plan.plans.values():
-        for cid, size, triples in (
-            (mp.child, tree.cliques[mp.child].size, mp.marg_up),
-            (mp.parent, tree.cliques[mp.parent].size, mp.absorb_up),
-        ):
-            if (cid, mp.sep_id) not in maps:
-                cached = engine.get_map(cid, mp.sep_id, size, triples)
-                if cached is not None:
-                    maps[(cid, mp.sep_id)] = cached
+    if engine.kernels.wants_maps:
+        for edge in spec.edges.values():
+            for cid, size, triples in (
+                (edge.child, spec.clique_sizes[edge.child], edge.marg_up),
+                (edge.parent, spec.clique_sizes[edge.parent], edge.absorb_up),
+            ):
+                if (cid, edge.sep_id) not in maps:
+                    cached = engine.get_map(cid, edge.sep_id, size, triples)
+                    if cached is not None:
+                        maps[(cid, edge.sep_id)] = cached
 
     workers = 1 if engine.config.mode == "seq" else engine.backend.num_workers
     blocks = chunk_cases(n, workers, min_block=min_block,
                          blocks_per_worker=blocks_per_worker)
     engine.metrics = {"dispatch_batches": 0, "dispatch_tasks": 0,
-                      "inline_layers": 0, "messages": plan.num_messages,
+                      "inline_layers": 0, "messages": spec.num_messages,
                       "batch_cases": n, "batch_blocks": len(blocks)}
 
     use_arena = engine.config.mode != "seq" and engine.backend.name == "process"
     arena: SharedArena | None = None
+    kernels_name = engine.kernels.name
     try:
         if use_arena:
             sizes = [c.size for c in tree.cliques] + [s.size for s in tree.separators]
@@ -240,7 +197,7 @@ def infer_cases(
             sep_refs = [ArrayRef.wrap(t.reshape(-1)) for t in state.sep_pot]
 
         tasks = [(calibrate_case_block,
-                  (clique_refs, sep_refs, plan, n, lo, hi, maps))
+                  (clique_refs, sep_refs, spec, kernels_name, n, lo, hi, maps))
                  for lo, hi in blocks]
         if len(tasks) == 1 or engine.backend.name == "serial":
             engine.count("inline_layers")
@@ -273,8 +230,8 @@ class BatchedFastBNI(FastBNI):
     """Fast-BNI with the case axis vectorised (see the module docstring).
 
     Construction is identical to :class:`FastBNI` (same compile pipeline,
-    plans and backend); :meth:`infer_cases` runs a whole workload in one
-    batched calibration and returns the columnar
+    shared plan and backend); :meth:`infer_cases` runs a whole workload in
+    one batched calibration and returns the columnar
     :class:`~repro.jt.engine.BatchInferenceResult`, while
     :meth:`infer_batch` keeps the list-of-results interface with
     ``vectorized=True`` as its default.
@@ -289,19 +246,19 @@ class BatchedFastBNI(FastBNI):
 
         Long-lived callers (the service layer's micro-batcher) flush many
         small batches against one engine; this pays the batch-independent
-        work once up front — the batched message schedule, the CPT-product
-        clique tables, and the per-edge index maps — so each subsequent
+        work once up front — the CPT-product base tables and (for gather
+        backends) the per-edge index maps — so each subsequent
         :meth:`infer_cases` call only does per-batch work (evidence
         absorption + kernel passes), never re-absorbing CPTs.  Idempotent;
         returns ``self`` for chaining.
         """
-        plan = build_batch_plan(self)
-        _base_clique_values(self)
-        for mp in plan.plans.values():
-            self.get_map(mp.child, mp.sep_id,
-                         self.tree.cliques[mp.child].size, mp.marg_up)
-            self.get_map(mp.parent, mp.sep_id,
-                         self.tree.cliques[mp.parent].size, mp.absorb_up)
+        self.plan.base_cliques
+        if self.kernels.wants_maps:
+            for edge in self.plan.spec.edges.values():
+                self.get_map(edge.child, edge.sep_id,
+                             self.tree.cliques[edge.child].size, edge.marg_up)
+                self.get_map(edge.parent, edge.sep_id,
+                             self.tree.cliques[edge.parent].size, edge.absorb_up)
         return self
 
     def infer_cases(

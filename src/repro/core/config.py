@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BackendError
+from repro.exec.kernels import KERNELS
 
 MODES = ("seq", "inter", "intra", "hybrid")
 BACKENDS = ("serial", "thread", "process")
@@ -28,6 +29,11 @@ class FastBNIConfig:
     root_strategy:
         ``"center"`` enables the paper's root selection; ``"first"``
         disables it (ablation).
+    kernels:
+        Kernel backend for whole-message execution (the sequential and
+        batched paths): ``"fused"`` (one pass per message over the N-D
+        arena views, the default) or ``"numpy"`` (the unfused index-map
+        reference).  See :mod:`repro.exec.kernels`.
     min_chunk:
         Smallest entry-range worth dispatching as its own task; tables
         smaller than this are processed inline by the master (controls the
@@ -49,6 +55,7 @@ class FastBNIConfig:
     num_workers: int | None = None
     heuristic: str = "min-fill"
     root_strategy: str = "center"
+    kernels: str = "fused"
     min_chunk: int = 16384
     chunks_per_worker: int = 2
     parallel_threshold: int = 100_000
@@ -59,6 +66,10 @@ class FastBNIConfig:
         if self.backend not in BACKENDS:
             raise BackendError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.kernels not in KERNELS:
+            raise BackendError(
+                f"unknown kernel backend {self.kernels!r}; expected one of {KERNELS}"
             )
         if self.num_workers is not None and self.num_workers < 1:
             raise BackendError("num_workers must be >= 1")

@@ -1,17 +1,24 @@
 """The Fast-BNI engine (paper §2).
 
 Compile once, infer many times: the constructor builds the junction tree,
-applies root selection, computes the BFS layer schedule and precomputes a
-:class:`MessagePlan` per tree edge (the stride triples of all four index
-mappings a message ever needs).  Each :meth:`FastBNI.infer` then only
-touches table *values* — exactly the amortisation FastBN uses across the
-paper's 2000-case workloads.
+applies root selection, and obtains the shared execution plan
+(:func:`repro.exec.plan.compile_plan`) — the BFS layer schedule, the flat
+arena layout and the per-edge :class:`~repro.exec.plan.EdgeGeometry`
+(stride triples and N-D broadcast shapes for all four index mappings a
+message ever needs).  Each :meth:`FastBNI.infer` then only touches table
+*values* — exactly the amortisation FastBN uses across the paper's
+2000-case workloads.
+
+Whole-message execution (the sequential and batched paths) goes through a
+pluggable kernel backend (:mod:`repro.exec.kernels`): ``"fused"`` runs
+marginalize+absorb as one pass per message over the arena, ``"numpy"`` is
+the unfused index-map reference.  The parallel modes chunk the same
+gather kernels across workers (:mod:`repro.core.primitives`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,38 +26,21 @@ from repro.bn.network import BayesianNetwork
 from repro.core.config import FastBNIConfig
 from repro.core.primitives import StrideTriples
 from repro.errors import BackendError, EvidenceError, JunctionTreeError
+from repro.exec.engine_api import EXACT_ENGINE
+from repro.exec.kernels import get_kernels, run_message_schedule
+from repro.exec.plan import EdgeGeometry, compile_plan
+from repro.exec.plan import MessagePlan as ExecPlan
 from repro.jt.engine import InferenceResult
-from repro.jt.evidence import absorb_evidence
-from repro.jt.layers import LayerSchedule, compute_layers
-from repro.jt.query import all_posteriors
+from repro.jt.evidence import check_evidence
+from repro.jt.layers import LayerSchedule
 from repro.jt.root import select_root
 from repro.jt.structure import JunctionTree, TreeState, compile_junction_tree
 from repro.parallel.backend import Backend, SerialBackend, make_backend
 from repro.parallel.sharedmem import ArrayRef, SharedArena
-from repro.potential.domain import Domain
 
-
-def _triples(src: Domain, dst: Domain) -> StrideTriples:
-    """Stride triples describing the src→dst index mapping."""
-    return tuple((src.stride(v), src.card(v), dst.stride(v)) for v in dst.variables)
-
-
-@dataclass(frozen=True)
-class MessagePlan:
-    """Precomputed index-mapping data for one tree edge (child ↔ parent)."""
-
-    child: int
-    parent: int
-    sep_id: int
-    sep_size: int
-    #: collect: marginalize child clique → separator
-    marg_up: StrideTriples
-    #: collect: absorb ratio into parent (gather parent idx → sep idx)
-    absorb_up: StrideTriples
-    #: distribute: marginalize parent clique → separator
-    marg_down: StrideTriples
-    #: distribute: absorb ratio into child
-    absorb_down: StrideTriples
+#: Backwards-compatible alias: the per-edge plan type now lives in the
+#: shared execution layer (it carries the ndview geometry too).
+MessagePlan = EdgeGeometry  # noqa: F811 - intentional re-export
 
 
 class FastBNI:
@@ -68,13 +58,16 @@ class FastBNI:
         :class:`~repro.errors.BackendError`).  The load-bearing ones:
         ``mode`` (``"seq"``/``"inter"``/``"intra"``/``"hybrid"``, see
         :mod:`repro.core`), ``backend`` (``"serial"``/``"thread"``/
-        ``"process"``), ``num_workers``, ``heuristic`` (triangulation) and
-        ``root_strategy``.
+        ``"process"``), ``num_workers``, ``kernels`` (``"fused"``/
+        ``"numpy"`` whole-message backend), ``heuristic`` (triangulation)
+        and ``root_strategy``.
     tree:
         Optional pre-compiled junction tree (warm start).  Must have been
         compiled for this exact network *object* —
         :class:`~repro.errors.JunctionTreeError` otherwise; load
         serialized trees with :func:`repro.jt.serialize.load_tree` first.
+        Engines sharing a tree also share its execution plan (base
+        tables, index maps).
 
     The engine owns a persistent execution backend; call :meth:`close`
     (or use it as a context manager) to release pools.  :meth:`infer`
@@ -82,6 +75,9 @@ class FastBNI:
     variables/states and for evidence whose probability is zero, and
     :class:`~repro.errors.QueryError` for unknown targets.
     """
+
+    #: Capability flags the service layers dispatch on.
+    capabilities = EXACT_ENGINE
 
     def __init__(self, net: BayesianNetwork, config: FastBNIConfig | None = None,
                  tree: JunctionTree | None = None, **kwargs) -> None:
@@ -101,35 +97,18 @@ class FastBNI:
             else compile_junction_tree(net, heuristic=config.heuristic)
         )
         select_root(self.tree, config.root_strategy)
-        self.schedule: LayerSchedule = compute_layers(self.tree)
-        self.plans: dict[int, MessagePlan] = {}
-        for cid in range(self.tree.num_cliques):
-            par = self.tree.parent[cid]
-            if par < 0:
-                continue
-            sep = self.tree.separators[self.tree.parent_sep[cid]]
-            cdom = self.tree.cliques[cid].domain
-            pdom = self.tree.cliques[par].domain
-            self.plans[cid] = MessagePlan(
-                child=cid,
-                parent=par,
-                sep_id=sep.id,
-                sep_size=sep.domain.size,
-                marg_up=_triples(cdom, sep.domain),
-                absorb_up=_triples(pdom, sep.domain),
-                marg_down=_triples(pdom, sep.domain),
-                absorb_down=_triples(cdom, sep.domain),
-            )
+        #: The shared execution plan (schedule + arena layout + geometry);
+        #: engines over one tree share one plan (see repro.exec.plan).
+        self.plan: ExecPlan = compile_plan(self.tree)
+        self.schedule: LayerSchedule = self.plan.schedule
+        #: Per-edge geometry keyed by child clique id (plan's edges).
+        self.plans: dict[int, EdgeGeometry] = self.plan.spec.edges
+        #: Whole-message kernel backend for the seq and batched paths.
+        self.kernels = get_kernels(config.kernels)
         if config.mode == "seq":
             self.backend: Backend = SerialBackend()
         else:
             self.backend = make_backend(config.backend, config.num_workers)
-        # Per-edge index-map cache (thread/serial backends only: shipping a
-        # table-sized map across a process boundary would defeat it).
-        # Keyed by (table clique id, separator id); the same map serves the
-        # marginalize and absorb directions of that edge.
-        self._map_cache: dict[tuple[int, int], np.ndarray] = {}
-        self._map_cache_entries = 0
         #: Instrumentation for the last infer() call: how often the backend
         #: was invoked and how many tasks it received — the quantitative
         #: form of the paper's "parallelization overhead" argument.
@@ -144,23 +123,32 @@ class FastBNI:
     #: Stop materialising maps past this many cached int64 entries (~400 MB).
     MAP_CACHE_LIMIT = 50_000_000
 
+    @property
+    def _map_cache(self) -> dict[tuple[int, int], np.ndarray]:
+        """The plan's per-edge index-map cache (shared across engines)."""
+        return self.plan._maps
+
+    @property
+    def _map_cache_entries(self) -> int:
+        return self.plan._map_entries
+
+    @property
+    def _batch_base_cliques(self) -> list[np.ndarray]:
+        """The plan's cached CPT-product clique tables (shared, immutable)."""
+        return self.plan.base_cliques
+
     def get_map(self, clique_id: int, sep_id: int, size: int,
                 triples: StrideTriples) -> np.ndarray | None:
-        """Cached clique→separator index map, or None when unavailable."""
+        """Cached clique→separator index map, or None when unavailable.
+
+        Returns ``None`` on the process backend (shipping a table-sized
+        map across a process boundary would defeat it) and once the
+        plan's cache would exceed :attr:`MAP_CACHE_LIMIT` entries.
+        """
         if self.backend.name == "process":
             return None
-        key = (clique_id, sep_id)
-        cached = self._map_cache.get(key)
-        if cached is not None:
-            return cached
-        if self._map_cache_entries + size > self.MAP_CACHE_LIMIT:
-            return None
-        from repro.core.primitives import build_index_map
-
-        imap = build_index_map(size, triples)
-        self._map_cache[key] = imap
-        self._map_cache_entries += size
-        return imap
+        return self.plan.index_map(clique_id, sep_id, size, triples,
+                                   limit=self.MAP_CACHE_LIMIT)
 
     # ----------------------------------------------------------------- naming
     @property
@@ -182,6 +170,21 @@ class FastBNI:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    # ------------------------------------------------------------- validation
+    def validate_case(self, evidence: dict | None = None,
+                      soft_evidence: dict | None = None) -> None:
+        """Check one request's evidence without running it.
+
+        Raises :class:`~repro.errors.EvidenceError` on unknown variables,
+        states, or malformed likelihood vectors — the protocol hook the
+        service layer calls at submit time.
+        """
+        check_evidence(self.tree, dict(evidence or {}))
+        if soft_evidence:
+            from repro.jt.evidence_soft import check_soft_evidence
+
+            check_soft_evidence(self.tree, soft_evidence)
+
     # ---------------------------------------------------------------- running
     def infer(
         self,
@@ -196,9 +199,9 @@ class FastBNI:
         """
         self.metrics = {"dispatch_batches": 0, "dispatch_tasks": 0,
                         "inline_layers": 0, "messages": 0}
-        state = self.tree.fresh_state()
+        state = self.plan.fresh_state()
         if evidence:
-            absorb_evidence(state, evidence)
+            self.plan.absorb_hard_evidence(state, evidence)
         if soft_evidence:
             from repro.jt.evidence_soft import absorb_soft_evidence
 
@@ -208,11 +211,14 @@ class FastBNI:
         try:
             if self.config.mode != "seq" and self.backend.name == "process":
                 arena = self._move_to_arena(state)
-            refs = [ArrayRef.wrap(p.values) if arena is None else arena.ref(i)
-                    for i, p in enumerate(state.clique_pot)]
-            self._calibrate(state, refs)
+            if self.config.mode == "seq":
+                self._calibrate(state, [])
+            else:
+                refs = [ArrayRef.wrap(p.values) if arena is None else arena.ref(i)
+                        for i, p in enumerate(state.clique_pot)]
+                self._calibrate(state, refs)
             result = InferenceResult(
-                posteriors=all_posteriors(state, targets),
+                posteriors=self.plan.read_posteriors(state, targets),
                 log_evidence=self._log_evidence(state),
             )
         finally:
@@ -222,6 +228,11 @@ class FastBNI:
                     pot.values = np.array(pot.values)
                 arena.close()
         return result
+
+    def posteriors(self, targets: tuple[str, ...] = (),
+                   evidence: dict | None = None) -> dict[str, np.ndarray]:
+        """Posterior vectors for ``targets`` (protocol convenience)."""
+        return self.infer(evidence, targets=tuple(targets)).posteriors
 
     def _move_to_arena(self, state: TreeState) -> SharedArena:
         arena = SharedArena([p.size for p in state.clique_pot])
@@ -235,10 +246,12 @@ class FastBNI:
 
         mode = self.config.mode
         if mode == "seq":
-            # Fast-BNI-seq: identical simplified index-mapping kernels and
-            # per-edge map cache, executed inline (hybrid path degenerates
-            # to pure sequential on the serial backend).
-            hybrid.calibrate_hybrid(self, state, refs)
+            # Fast-BNI-seq: whole-message execution through the kernel
+            # backend over the plan arena (fused by default — one pass per
+            # message, the paper's own fewer-fatter-invocations recipe).
+            sent = run_message_schedule(self.plan, state, self.kernels,
+                                        map_limit=self.MAP_CACHE_LIMIT)
+            self.count("messages", sent)
         elif mode == "inter":
             inter.calibrate_inter(self, state, refs)
         elif mode == "intra":
@@ -323,4 +336,5 @@ class FastBNI:
         s = self.tree.stats()
         s["num_layers"] = self.schedule.num_layers
         s["num_workers"] = self.backend.num_workers
+        s.update(self.plan.stats())
         return s

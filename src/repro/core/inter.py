@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.primitives import StrideTriples, chunk_dst_indices, ratio_vector
 from repro.errors import EvidenceError
+from repro.exec.kernels import gather_absorb, gather_marginalize
 from repro.jt.structure import TreeState
 from repro.parallel.sharedmem import ArrayRef
 
@@ -31,19 +32,20 @@ def message_task(
 ) -> tuple[int, np.ndarray, float]:
     """One full message src→dst executed in a worker.
 
-    Whole-table (unchunked) kernels: marginalize src, normalise, divide by
+    Whole-table (unchunked) shared gather kernels
+    (:mod:`repro.exec.kernels`): marginalize src, normalise, divide by
     the old separator, absorb into dst.  Returns ``(sep_id, new separator
     values, log normalisation constant)`` for the master's bookkeeping.
     """
     src_vals = src.resolve()
     imap = chunk_dst_indices(0, src_vals.size, marg, marg_map)
-    new_sep = np.bincount(imap, weights=src_vals, minlength=sep_size)
+    new_sep = gather_marginalize(src_vals, imap, sep_size)
     total = float(new_sep.sum())
     if total > 0.0:
         new_sep /= total
     ratio = ratio_vector(new_sep, old_sep)
     dst_vals = dst.resolve()
-    dst_vals *= ratio[chunk_dst_indices(0, dst_vals.size, absorb, absorb_map)]
+    gather_absorb(dst_vals, ratio, chunk_dst_indices(0, dst_vals.size, absorb, absorb_map))
     return sep_id, new_sep, (np.log(total) if total > 0.0 else -np.inf)
 
 

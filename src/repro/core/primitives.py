@@ -27,10 +27,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exec.kernels import (FLAT_BINCOUNT_LIMIT, StrideTriples,
+                                gather_absorb, gather_absorb_batch,
+                                gather_marginalize, gather_marginalize_batch,
+                                ratio_vector, triples_to_map)
 from repro.parallel.sharedmem import ArrayRef
 
-#: per destination variable: (stride in src domain, cardinality, stride in dst)
-StrideTriples = tuple[tuple[int, int, int], ...]
+__all__ = [
+    "FLAT_BINCOUNT_LIMIT", "StrideTriples", "absorb_batch_chunk",
+    "absorb_chunk", "build_index_map", "chunk_dst_indices", "marg_batch_chunk",
+    "marg_chunk", "ratio_vector", "reduce_chunk", "scale_chunk", "sum_chunk",
+]
 
 
 def chunk_dst_indices(lo: int, hi: int, triples: StrideTriples,
@@ -45,6 +52,8 @@ def chunk_dst_indices(lo: int, hi: int, triples: StrideTriples,
     """
     if imap is not None:
         return imap[lo:hi]
+    if lo == 0:
+        return triples_to_map(hi, triples)
     idx = np.arange(lo, hi, dtype=np.int64)
     out = np.zeros(hi - lo, dtype=np.int64)
     for s_src, card, s_dst in triples:
@@ -54,7 +63,7 @@ def chunk_dst_indices(lo: int, hi: int, triples: StrideTriples,
 
 def build_index_map(size: int, triples: StrideTriples) -> np.ndarray:
     """Materialise the full source→destination index map."""
-    return chunk_dst_indices(0, size, triples)
+    return triples_to_map(size, triples)
 
 
 def marg_chunk(src: ArrayRef, lo: int, hi: int, triples: StrideTriples,
@@ -62,7 +71,7 @@ def marg_chunk(src: ArrayRef, lo: int, hi: int, triples: StrideTriples,
     """Partial marginalization: bincount of ``src[lo:hi]`` into dst space."""
     values = src.resolve()
     m = chunk_dst_indices(lo, hi, triples, imap)
-    return np.bincount(m, weights=values[lo:hi], minlength=dst_size)
+    return gather_marginalize(values[lo:hi], m, dst_size)
 
 
 def absorb_chunk(dst: ArrayRef, lo: int, hi: int,
@@ -78,7 +87,7 @@ def absorb_chunk(dst: ArrayRef, lo: int, hi: int,
     values = dst.resolve()
     seg = values[lo:hi]
     for triples, imap, ratio in updates:
-        seg *= ratio[chunk_dst_indices(lo, hi, triples, imap)]
+        gather_absorb(seg, ratio, chunk_dst_indices(lo, hi, triples, imap))
 
 
 def reduce_chunk(dst: ArrayRef, lo: int, hi: int,
@@ -106,36 +115,23 @@ def scale_chunk(dst: ArrayRef, lo: int, hi: int, factor: float) -> None:
     dst.resolve()[lo:hi] *= factor
 
 
-#: Flattened-bincount cutover: above this many (case, entry) pairs the
-#: shifted int64 index temp would rival the batch table itself, so the
-#: batched marginalization falls back to one bincount per case row.
-FLAT_BINCOUNT_LIMIT = 1 << 22
-
-
 def marg_batch_chunk(src: ArrayRef, n: int, row_lo: int, row_hi: int,
                      triples: StrideTriples, dst_size: int,
                      imap: np.ndarray | None = None) -> np.ndarray:
     """Batched marginalization of case rows ``[row_lo, row_hi)``.
 
-    ``src`` resolves to an ``(n, src_size)`` batch stored flat; the same
-    stride-triple index map that :func:`marg_chunk` scatters one table
-    through is broadcast over the leading case axis, producing the
-    ``(row_hi - row_lo, dst_size)`` messages of every case in the block with
-    one (or per-row one) C-level bincount pass instead of a Python-level
-    loop over cases.
+    ``src`` resolves to an ``(n, src_size)`` batch stored flat; thin
+    chunk-level wrapper over the shared batched kernel
+    (:func:`repro.exec.kernels.gather_marginalize_batch`), producing the
+    ``(row_hi - row_lo, dst_size)`` messages of every case in the block
+    with C-level bincount passes instead of a Python-level loop over
+    cases.  The module-level ``FLAT_BINCOUNT_LIMIT`` (re-exported from
+    the kernels) controls the flat-vs-per-row cutover.
     """
     values = src.resolve().reshape(n, -1)[row_lo:row_hi]
-    k, size = values.shape
-    m = imap if imap is not None else chunk_dst_indices(0, size, triples)
-    if k * size <= FLAT_BINCOUNT_LIMIT:
-        shifted = m[None, :] + (np.arange(k, dtype=np.int64) * dst_size)[:, None]
-        flat = np.bincount(shifted.ravel(), weights=values.ravel(),
-                           minlength=k * dst_size)
-        return flat.reshape(k, dst_size)
-    out = np.empty((k, dst_size))
-    for i in range(k):
-        out[i] = np.bincount(m, weights=values[i], minlength=dst_size)
-    return out
+    m = imap if imap is not None else triples_to_map(values.shape[1], triples)
+    return gather_marginalize_batch(values, m, dst_size,
+                                    flat_limit=FLAT_BINCOUNT_LIMIT)
 
 
 def absorb_batch_chunk(dst: ArrayRef, n: int, row_lo: int, row_hi: int,
@@ -144,20 +140,11 @@ def absorb_batch_chunk(dst: ArrayRef, n: int, row_lo: int, row_hi: int,
     """Batched absorb: case rows ``[row_lo, row_hi)`` of ``dst`` ``*=`` ratios.
 
     Each update carries (stride triples, optional cached map, ``(k, sep)``
-    ratio block); the gather through the map runs as one 2-D fancy index
-    over the whole case block — the batched form of :func:`absorb_chunk`.
+    ratio block); thin chunk-level wrapper over
+    :func:`repro.exec.kernels.gather_absorb_batch` — the batched form of
+    :func:`absorb_chunk`.
     """
     values = dst.resolve().reshape(n, -1)[row_lo:row_hi]
     for triples, imap, ratio in updates:
-        m = imap if imap is not None else chunk_dst_indices(0, values.shape[1], triples)
-        values *= ratio[:, m]
-
-
-def ratio_vector(new: np.ndarray, old: np.ndarray) -> np.ndarray:
-    """Separator update ``new/old`` with the JT convention ``x/0 = 0``.
-
-    Computed by the master (separators are tiny next to cliques).
-    """
-    out = np.zeros_like(new)
-    np.divide(new, old, out=out, where=old != 0)
-    return out
+        m = imap if imap is not None else triples_to_map(values.shape[1], triples)
+        gather_absorb_batch(values, ratio, m)

@@ -1,0 +1,372 @@
+"""The message kernels: one place where a junction-tree message executes.
+
+Fast-BNI's profiling argument (paper §1) is that fine-grained engines lose
+to "large parallelization overhead since the table operations are invoked
+frequently" — table ops are small, so fixed per-invocation cost dominates.
+Before this module existed the repo re-derived those table operations in
+four places; now every engine funnels through the primitives here, and a
+speedup to a kernel lands everywhere at once.
+
+Two layers:
+
+* **Primitive functions** — ``gather_*`` (the paper-faithful index-mapping
+  formulation: flat maps, ``bincount`` scatter, fancy-index gather) and
+  ``nd_*`` (NumPy reshape/sum/broadcast over the N-D view).  Each comes in
+  a single-case and an ``(N, table)`` batched form.  These are what
+  :mod:`repro.potential.ops` and :mod:`repro.core.primitives` wrap.
+
+* **Kernel backends** — a :class:`KernelBackend` executes one whole Hugin
+  message (marginalize → normalize → ratio → absorb) over arena tables:
+
+  - ``numpy``: the textbook NumPy reference — reshape the flat tables to
+    their N-D views, ``sum`` out axes to marginalize, broadcast-multiply
+    to absorb.  Clean, obviously-correct, and per-invocation expensive:
+    every call re-pays NumPy's reduction/broadcast setup, the exact
+    per-table-operation overhead the paper profiles;
+  - ``fused``: each message executes as **one fused kernel invocation
+    over the flat arena** — a single ``bincount`` scatter pass through
+    the plan's precomputed index map (marginalize) and a single
+    fancy-index gather pass (absorb), with the whole message sequence
+    pre-compiled by the plan (:meth:`repro.exec.plan.MessagePlan.
+    compiled_messages`) so the hot loop touches no domain algebra, no
+    shape bookkeeping and no per-op dispatch.  This is the paper's
+    compile-time-index-map amortisation carried to its end point.
+
+  Both backends are bit-compatible to float64 round-off (the property
+  suite pins 1e-12 agreement over random and degenerate geometries);
+  ``fused`` is the default and is what ``BENCH_exec.json`` tracks.
+
+Backends are stateless singletons; select one with :func:`get_kernels`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import BackendError, EvidenceError
+
+#: per destination variable: (stride in src domain, cardinality, stride in dst)
+StrideTriples = tuple[tuple[int, int, int], ...]
+
+#: Flattened-bincount cutover: above this many (case, entry) pairs the
+#: shifted int64 index temp would rival the batch table itself, so the
+#: batched marginalization falls back to one bincount per case row.
+FLAT_BINCOUNT_LIMIT = 1 << 22
+
+
+def triples_to_map(size: int, triples: StrideTriples) -> np.ndarray:
+    """Materialise the flat source→destination index map from stride triples."""
+    idx = np.arange(size, dtype=np.int64)
+    out = np.zeros(size, dtype=np.int64)
+    for s_src, card, s_dst in triples:
+        out += ((idx // s_src) % card) * s_dst
+    return out
+
+
+# ------------------------------------------------------------ gather (indexmap)
+def gather_marginalize(values: np.ndarray, imap: np.ndarray,
+                       dst_size: int) -> np.ndarray:
+    """Marginalize one flat table through its index map (bincount scatter)."""
+    return np.bincount(imap, weights=values, minlength=dst_size)
+
+
+def gather_absorb(values: np.ndarray, msg: np.ndarray,
+                  imap: np.ndarray) -> None:
+    """In-place ``values *= extend(msg)`` through the index map (gather)."""
+    values *= msg[imap]
+
+
+def gather_marginalize_batch(values: np.ndarray, imap: np.ndarray,
+                             dst_size: int,
+                             flat_limit: int = FLAT_BINCOUNT_LIMIT) -> np.ndarray:
+    """Batched marginalization: ``(k, src)`` rows → ``(k, dst)`` messages.
+
+    One C-level bincount over the case-shifted flat map while the shifted
+    index temp stays affordable (``flat_limit``); per-row bincounts beyond.
+    """
+    k, size = values.shape
+    if k * size <= flat_limit:
+        shifted = imap[None, :] + (np.arange(k, dtype=np.int64) * dst_size)[:, None]
+        flat = np.bincount(shifted.ravel(), weights=values.ravel(),
+                           minlength=k * dst_size)
+        return flat.reshape(k, dst_size)
+    out = np.empty((k, dst_size))
+    for i in range(k):
+        out[i] = np.bincount(imap, weights=values[i], minlength=dst_size)
+    return out
+
+
+def gather_absorb_batch(values: np.ndarray, msg: np.ndarray,
+                        imap: np.ndarray) -> None:
+    """Batched in-place ``values *= extend(msg)``: one 2-D fancy-index gather."""
+    values *= msg[:, imap]
+
+
+# --------------------------------------------------------------- ndview (fused)
+def nd_marginalize(values: np.ndarray, shape: tuple[int, ...],
+                   drop_axes: tuple[int, ...]) -> np.ndarray:
+    """Marginalize one flat table by summing the dropped axes of its N-D view."""
+    if not drop_axes:
+        return values.copy()
+    return values.reshape(shape).sum(axis=drop_axes).reshape(-1)
+
+
+def nd_absorb(values: np.ndarray, msg: np.ndarray, shape: tuple[int, ...],
+              bshape: tuple[int, ...]) -> None:
+    """In-place ``values *= msg`` where ``bshape`` broadcasts msg over shape.
+
+    ``bshape`` keeps the message variables' cardinalities and sets every
+    other axis to 1 — valid whenever the message's variable order is a
+    sub-order of the table's (the junction-tree compile guarantees this).
+    """
+    values.reshape(shape)[...] *= msg.reshape(bshape)
+
+
+def nd_marginalize_batch(values: np.ndarray, shape: tuple[int, ...],
+                         drop_axes: tuple[int, ...]) -> np.ndarray:
+    """Batched N-D marginalization: sum the (1-shifted) dropped axes."""
+    k = values.shape[0]
+    if not drop_axes:
+        return values.copy()
+    axes = tuple(a + 1 for a in drop_axes)
+    return np.ascontiguousarray(
+        values.reshape((k,) + tuple(shape)).sum(axis=axes).reshape(k, -1))
+
+
+def nd_absorb_batch(values: np.ndarray, msg: np.ndarray,
+                    dst_shape: tuple[int, ...], msg_shape: tuple[int, ...],
+                    axes: tuple[int, ...]) -> None:
+    """Batched in-place ``values *= extend(msg)`` over the case axis.
+
+    ``axes[i]`` is the destination axis of the message's *i*-th variable;
+    unlike :func:`nd_absorb` the message order need not be a sub-order of
+    the destination's (general domains transpose first).
+    """
+    k = values.shape[0]
+    nd = msg.reshape((k,) + tuple(msg_shape))
+    order = sorted(range(len(axes)), key=lambda i: axes[i])
+    if order != list(range(len(axes))):
+        nd = nd.transpose((0,) + tuple(o + 1 for o in order))
+    bshape = [1] * (len(dst_shape) + 1)
+    bshape[0] = k
+    for i, ax in enumerate(axes):
+        bshape[ax + 1] = msg_shape[i]
+    values.reshape((k,) + tuple(dst_shape))[...] *= nd.reshape(bshape)
+
+
+# ---------------------------------------------------------------------- ratios
+def ratio_vector(new: np.ndarray, old: np.ndarray) -> np.ndarray:
+    """Separator update ``new/old`` with the JT convention ``x/0 = 0``."""
+    out = np.zeros_like(new)
+    np.divide(new, old, out=out, where=old != 0)
+    return out
+
+
+def _normalize_batch(new_sep: np.ndarray, case_offset: int) -> np.ndarray:
+    """Row-normalise a ``(k, sep)`` message block; returns per-row log totals."""
+    totals = new_sep.sum(axis=1)
+    bad = np.flatnonzero(~(totals > 0.0))
+    if bad.size:
+        raise EvidenceError(
+            "evidence has zero probability (empty message) in case "
+            f"{case_offset + bad[0]}"
+        )
+    new_sep /= totals[:, None]
+    return np.log(totals)
+
+
+# -------------------------------------------------------------------- backends
+class KernelBackend:
+    """One whole Hugin message over arena tables (see the module docstring).
+
+    ``message``/``message_batch`` marginalize ``src`` onto the separator,
+    normalise (scaled propagation), divide by the old separator, absorb
+    the ratio into ``dst`` and overwrite the separator in place, returning
+    the log normalisation constant(s).  ``maps`` optionally carries the
+    cached ``(marginalize, absorb)`` index maps; gather-based backends
+    (``fused``) advertise ``wants_maps = True`` so callers prefetch them,
+    while ndview backends (``numpy``) advertise ``False`` so callers skip
+    building maps they would never read.
+    """
+
+    name = "abstract"
+    #: Whether this backend consumes precomputed flat index maps.
+    wants_maps = False
+
+    def message(self, src: np.ndarray, dst: np.ndarray, sep: np.ndarray,
+                edge, upward: bool,
+                maps: tuple[np.ndarray | None, np.ndarray | None] = (None, None),
+                ) -> float:
+        raise NotImplementedError
+
+    def message_batch(self, src: np.ndarray, dst: np.ndarray, sep: np.ndarray,
+                      edge, upward: bool,
+                      maps: tuple[np.ndarray | None, np.ndarray | None] = (None, None),
+                      case_offset: int = 0) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NumpyKernels(KernelBackend):
+    """Textbook NumPy reference: N-D views, axis sums, broadcast multiplies.
+
+    One reduction/broadcast *setup* per table operation — the baseline the
+    fused backend is measured against (``BENCH_exec.json``).
+    """
+
+    name = "numpy"
+    wants_maps = False
+
+    def message(self, src, dst, sep, edge, upward, maps=(None, None)):
+        if upward:
+            src_shape, drop = edge.child_shape, edge.up_axes
+            dst_shape, bshape = edge.parent_shape, edge.parent_bshape
+        else:
+            src_shape, drop = edge.parent_shape, edge.down_axes
+            dst_shape, bshape = edge.child_shape, edge.child_bshape
+        new_sep = nd_marginalize(src, src_shape, drop)
+        total = float(new_sep.sum())
+        if total <= 0.0:
+            raise EvidenceError("evidence has zero probability (empty message)")
+        new_sep /= total
+        ratio = ratio_vector(new_sep, sep)
+        nd_absorb(dst, ratio, dst_shape, bshape)
+        sep[:] = new_sep
+        return math.log(total)
+
+    def message_batch(self, src, dst, sep, edge, upward, maps=(None, None),
+                      case_offset=0):
+        k = src.shape[0]
+        if upward:
+            src_shape, drop = edge.child_shape, edge.up_axes
+            dst_shape, bshape = edge.parent_shape, edge.parent_bshape
+        else:
+            src_shape, drop = edge.parent_shape, edge.down_axes
+            dst_shape, bshape = edge.child_shape, edge.child_bshape
+        new_sep = nd_marginalize_batch(src, src_shape, drop)
+        log_totals = _normalize_batch(new_sep, case_offset)
+        ratio = np.zeros_like(new_sep)
+        np.divide(new_sep, sep, out=ratio, where=sep != 0)
+        dst.reshape((k,) + tuple(dst_shape))[...] *= ratio.reshape((k,) + tuple(bshape))
+        sep[:] = new_sep
+        return log_totals
+
+
+class FusedKernels(KernelBackend):
+    """Fused flat-arena backend: one scatter + one gather pass per message.
+
+    Consumes the plan's precomputed index maps (falling back to on-the-fly
+    mixed-radix arithmetic when a map is unavailable, e.g. across a
+    process boundary) and never touches N-D views, so the per-message cost
+    is two single-pass C loops plus the tiny separator arithmetic.
+
+    The separator update uses ``new / (old + (old == 0))`` instead of a
+    masked divide: during propagation zeros only ever *grow* (a killed
+    separator entry zeroes the matching clique entries, so later marginals
+    stay zero there), hence ``old == 0`` implies ``new == 0`` and the two
+    forms are bit-identical — while the unmasked divide skips NumPy's slow
+    ``where=`` path.  This invariant holds for calibration states (fresh
+    tables, zeroing evidence); callers feeding arbitrary tables get the
+    convention only where the invariant does.
+    """
+
+    name = "fused"
+    wants_maps = True
+
+    def message(self, src, dst, sep, edge, upward, maps=(None, None)):
+        m_marg, m_abs = maps
+        if m_marg is None:
+            m_marg = triples_to_map(
+                src.size, edge.marg_up if upward else edge.marg_down)
+        new_sep = gather_marginalize(src, m_marg, edge.sep_size)
+        total = float(new_sep.sum())
+        if total <= 0.0:
+            raise EvidenceError("evidence has zero probability (empty message)")
+        new_sep /= total
+        ratio = new_sep / (sep + (sep == 0.0))
+        if m_abs is None:
+            m_abs = triples_to_map(
+                dst.size, edge.absorb_up if upward else edge.absorb_down)
+        gather_absorb(dst, ratio, m_abs)
+        sep[:] = new_sep
+        return math.log(total)
+
+    def message_batch(self, src, dst, sep, edge, upward, maps=(None, None),
+                      case_offset=0):
+        m_marg, m_abs = maps
+        if m_marg is None:
+            m_marg = triples_to_map(
+                src.shape[1], edge.marg_up if upward else edge.marg_down)
+        new_sep = gather_marginalize_batch(src, m_marg, edge.sep_size)
+        log_totals = _normalize_batch(new_sep, case_offset)
+        ratio = new_sep / (sep + (sep == 0.0))
+        if m_abs is None:
+            m_abs = triples_to_map(
+                dst.shape[1], edge.absorb_up if upward else edge.absorb_down)
+        gather_absorb_batch(dst, ratio, m_abs)
+        sep[:] = new_sep
+        return log_totals
+
+
+#: The pluggable backend registry (CLI/service ``--kernels`` values).
+KERNELS = ("fused", "numpy")
+_BACKENDS: dict[str, KernelBackend] = {
+    "numpy": NumpyKernels(),
+    "fused": FusedKernels(),
+}
+
+
+def get_kernels(name: str) -> KernelBackend:
+    """Resolve a kernel-backend name (``"fused"`` or ``"numpy"``)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown kernel backend {name!r}; expected one of {KERNELS}"
+        ) from None
+
+
+def run_message_schedule(plan, state, backend: KernelBackend,
+                         map_limit: int | None = None) -> int:
+    """Full two-phase calibration of ``state`` via ``backend``.
+
+    The single-case execution loop shared by the sequential engine: walks
+    the compiled plan's collect layers (tracking the normalisation
+    constants in ``state.log_norm``) then its distribute layers (constants
+    dropped), one :meth:`KernelBackend.message` per edge per phase.
+    Returns the number of messages executed.
+    """
+    spec = plan.spec
+    cliques = [p.values for p in state.clique_pot]
+    seps = [p.values for p in state.sep_pot]
+    messages = 0
+    log_norm = 0.0
+    if backend.wants_maps:
+        # Map-consuming backends run the pre-compiled sequence: maps
+        # prefetched, zero per-message plan lookups.
+        send = backend.message
+        for upward, src, dst, sep_id, edge, m_marg, m_abs in \
+                plan.compiled_messages(limit=map_limit):
+            log_total = send(cliques[src], cliques[dst], seps[sep_id],
+                             edge, upward, (m_marg, m_abs))
+            if upward:
+                log_norm += log_total
+            messages += 1
+    else:
+        no_maps = (None, None)
+        for layer in spec.up_layers:
+            for cid in layer:
+                edge = spec.edges[cid]
+                log_norm += backend.message(cliques[cid], cliques[edge.parent],
+                                            seps[edge.sep_id], edge, True,
+                                            no_maps)
+                messages += 1
+        for layer in spec.down_layers:
+            for cid in layer:
+                edge = spec.edges[cid]
+                backend.message(cliques[edge.parent], cliques[cid],
+                                seps[edge.sep_id], edge, False, no_maps)
+                messages += 1
+    state.log_norm += log_norm
+    return messages

@@ -1,0 +1,491 @@
+"""Compile-once message plans: one arena, one geometry, every engine.
+
+A junction tree plus a BFS layer schedule fully determines everything a
+calibration pass ever computes *about* tables (as opposed to *in* them):
+which clique messages which, through which separator, in which order, and
+the index geometry of each table operation.  :func:`compile_plan` derives
+all of it exactly once per (tree, root) and the engines share the result:
+
+* a flat **arena layout** — every clique and separator table gets an
+  offset into one contiguous float64 buffer, in both the single-case
+  (``(arena_entries,)``) and batched (``(N, table)`` blocks, table-major)
+  layouts; :meth:`MessagePlan.fresh_state` / ``fresh_batch_state`` hand
+  out ready-to-calibrate states whose potentials are views into it;
+* per-edge :class:`EdgeGeometry` — the four stride-triple index mappings
+  (the paper's formulation, chunked by the parallel engines) **and** the
+  N-D sum-axes/broadcast shapes (consumed by the fused kernel backend and
+  the incremental engine, which previously derived them privately);
+* the **layer schedule** flattened to plain clique-id tuples
+  (``up_layers`` deepest-first, ``down_layers`` shallowest-first) — the
+  picklable form the batched engine ships to process workers;
+* the cached **CPT-product base tables** and the per-edge **index-map
+  cache**, so every engine sharing one tree shares one copy of each.
+
+:class:`PlanSpec` is the picklable slice of the plan (pure ints/tuples,
+no network or domain objects): it crosses process boundaries at the cost
+of a few kilobytes, while :class:`MessagePlan` itself stays in the master
+process holding the tree, the lazily-built base tables and the map cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvidenceError, JunctionTreeError, QueryError
+from repro.exec.kernels import StrideTriples, triples_to_map
+from repro.jt.layers import LayerSchedule, compute_layers
+from repro.jt.structure import BatchTreeState, JunctionTree, TreeState
+from repro.potential.domain import Domain
+from repro.potential.factor import Potential
+
+
+def stride_triples(src: Domain, dst: Domain) -> StrideTriples:
+    """Stride triples describing the src→dst flat index mapping."""
+    return tuple((src.stride(v), src.card(v), dst.stride(v)) for v in dst.variables)
+
+
+@dataclass(frozen=True)
+class EdgeGeometry:
+    """Precomputed index geometry for one tree edge (child ↔ parent).
+
+    Carries both formulations of every message the edge ever sends:
+    stride triples for the index-mapping (gather/scatter) kernels, and
+    sum-axes/broadcast shapes for the N-D-view (fused) kernels.  The
+    broadcast shapes are valid because clique and separator domains are
+    both ordered by network variable rank, making the separator's variable
+    order a sub-order of both endpoints'.  Pure ints and tuples —
+    picklable, shareable, immutable.
+    """
+
+    child: int
+    parent: int
+    sep_id: int
+    sep_size: int
+    #: collect: marginalize child clique → separator
+    marg_up: StrideTriples
+    #: collect: absorb ratio into parent (gather parent idx → sep idx)
+    absorb_up: StrideTriples
+    #: distribute: marginalize parent clique → separator
+    marg_down: StrideTriples
+    #: distribute: absorb ratio into child
+    absorb_down: StrideTriples
+    #: N-D shapes of the endpoint cliques (domain order = var-rank order)
+    child_shape: tuple[int, ...]
+    parent_shape: tuple[int, ...]
+    #: axes of the child's N-D view summed out for child → sep
+    up_axes: tuple[int, ...]
+    #: axes of the parent's N-D view summed out for parent → sep
+    down_axes: tuple[int, ...]
+    #: separator reshaped to broadcast against the child's N-D view
+    child_bshape: tuple[int, ...]
+    #: separator reshaped to broadcast against the parent's N-D view
+    parent_bshape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """The picklable message plan: geometry + schedule + arena layout.
+
+    Everything a worker needs to calibrate arena tables — no tree, no
+    network, no domain objects.  Offsets are in float64 entries; the
+    single-case arena packs cliques first then separators, and the batched
+    arena uses the same offsets scaled by the case count (table-major
+    ``(N, size)`` blocks).
+    """
+
+    root: int
+    clique_sizes: tuple[int, ...]
+    clique_shapes: tuple[tuple[int, ...], ...]
+    sep_sizes: tuple[int, ...]
+    #: arena offset of each clique table
+    clique_offsets: tuple[int, ...]
+    #: arena offset of each separator table (absolute, after the cliques)
+    sep_offsets: tuple[int, ...]
+    #: total clique entries (= offset of the first separator)
+    clique_entries: int
+    #: total arena entries (cliques + separators)
+    arena_entries: int
+    #: per-edge geometry keyed by child clique id
+    edges: dict[int, EdgeGeometry]
+    #: collect schedule: clique ids per BFS layer, deepest layer first
+    up_layers: tuple[tuple[int, ...], ...]
+    #: distribute schedule: clique ids per BFS layer, shallowest first
+    down_layers: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_cliques(self) -> int:
+        return len(self.clique_sizes)
+
+    @property
+    def num_separators(self) -> int:
+        return len(self.sep_sizes)
+
+    @property
+    def num_messages(self) -> int:
+        """Messages per full calibration (one up + one down per edge)."""
+        return 2 * len(self.edges)
+
+
+class MessagePlan:
+    """A compiled plan bound to its tree (see the module docstring).
+
+    Do not construct directly — :func:`compile_plan` caches one instance
+    per (tree object, root), so every engine compiled over one tree shares
+    the base tables and the index-map cache.
+    """
+
+    #: Stop materialising maps past this many cached int64 entries (~400 MB).
+    MAP_CACHE_LIMIT = 50_000_000
+
+    def __init__(self, tree: JunctionTree, schedule: LayerSchedule) -> None:
+        if schedule.root != tree.root:
+            raise JunctionTreeError(
+                f"schedule rooted at {schedule.root} does not match tree "
+                f"root {tree.root}"
+            )
+        self.tree = tree
+        self.schedule = schedule
+
+        clique_sizes = tuple(c.size for c in tree.cliques)
+        clique_shapes = tuple(
+            tuple(v.cardinality for v in c.domain.variables) for c in tree.cliques
+        )
+        sep_sizes = tuple(s.size for s in tree.separators)
+        clique_offsets: list[int] = []
+        off = 0
+        for size in clique_sizes:
+            clique_offsets.append(off)
+            off += size
+        clique_entries = off
+        sep_offsets: list[int] = []
+        for size in sep_sizes:
+            sep_offsets.append(off)
+            off += size
+
+        edges: dict[int, EdgeGeometry] = {}
+        for cid in range(tree.num_cliques):
+            parent = tree.parent[cid]
+            if parent < 0:
+                continue
+            sep = tree.separators[tree.parent_sep[cid]]
+            cdom, pdom = tree.cliques[cid].domain, tree.cliques[parent].domain
+            sep_names = set(sep.domain.names)
+            edges[cid] = EdgeGeometry(
+                child=cid,
+                parent=parent,
+                sep_id=sep.id,
+                sep_size=sep.domain.size,
+                marg_up=stride_triples(cdom, sep.domain),
+                absorb_up=stride_triples(pdom, sep.domain),
+                marg_down=stride_triples(pdom, sep.domain),
+                absorb_down=stride_triples(cdom, sep.domain),
+                child_shape=clique_shapes[cid],
+                parent_shape=clique_shapes[parent],
+                up_axes=tuple(i for i, v in enumerate(cdom.variables)
+                              if v.name not in sep_names),
+                down_axes=tuple(i for i, v in enumerate(pdom.variables)
+                                if v.name not in sep_names),
+                child_bshape=tuple(v.cardinality if v.name in sep_names else 1
+                                   for v in cdom.variables),
+                parent_bshape=tuple(v.cardinality if v.name in sep_names else 1
+                                    for v in pdom.variables),
+            )
+
+        layers = schedule.clique_layers
+        self.spec = PlanSpec(
+            root=tree.root,
+            clique_sizes=clique_sizes,
+            clique_shapes=clique_shapes,
+            sep_sizes=sep_sizes,
+            clique_offsets=tuple(clique_offsets),
+            sep_offsets=tuple(sep_offsets),
+            clique_entries=clique_entries,
+            arena_entries=off,
+            edges=edges,
+            up_layers=tuple(layers[d] for d in range(len(layers) - 1, 0, -1)),
+            down_layers=tuple(layers[d] for d in range(1, len(layers))),
+        )
+        #: Lazily-built CPT-product clique tables (views into one flat base).
+        self._base: list[np.ndarray] | None = None
+        self._base_flat: np.ndarray | None = None
+        #: Per-(clique, separator) index-map cache; the same map serves the
+        #: marginalize and absorb directions of that edge.
+        self._maps: dict[tuple[int, int], np.ndarray] = {}
+        self._map_entries = 0
+        #: Pre-compiled message sequence with maps attached (lazy).
+        self._compiled: list[tuple] | None = None
+        #: Evidence geometry: variable name -> (absorbing clique id,
+        #: cached per-entry digit vector of that variable in the clique).
+        self._ev_digits: dict[str, tuple[int, np.ndarray]] = {}
+        #: Posterior geometry: variable name -> (clique id, summed axes).
+        self._var_reads: dict[str, tuple[int, tuple[int, ...]]] = {}
+
+    # ----------------------------------------------------------------- layout
+    @property
+    def arena_bytes(self) -> int:
+        """Single-case arena footprint in bytes (float64 entries × 8)."""
+        return 8 * self.spec.arena_entries
+
+    @property
+    def base_cliques(self) -> list[np.ndarray]:
+        """CPT-product clique tables, built once and shared (views of one
+        flat buffer laid out exactly like the arena's clique region)."""
+        if self._base is None:
+            state = TreeState(self.tree)
+            flat = np.empty(self.spec.clique_entries)
+            base: list[np.ndarray] = []
+            for cid, pot in enumerate(state.clique_pot):
+                off = self.spec.clique_offsets[cid]
+                view = flat[off:off + pot.size]
+                view[:] = pot.values
+                base.append(view)
+            self._base_flat = flat
+            self._base = base
+        return self._base
+
+    def fresh_state(self) -> TreeState:
+        """A calibration-ready :class:`TreeState` backed by one arena.
+
+        Clique tables start at the cached CPT products (one contiguous
+        copy, not one CPT multiply per clique per inference) and
+        separators at ones; every potential's values are views into a
+        single ``(arena_entries,)`` buffer.
+        """
+        spec = self.spec
+        self.base_cliques  # materialise _base_flat
+        arena = np.empty(spec.arena_entries)
+        arena[:spec.clique_entries] = self._base_flat
+        arena[spec.clique_entries:] = 1.0
+        state = TreeState.__new__(TreeState)
+        state.tree = self.tree
+        state.clique_pot = [
+            Potential(c.domain,
+                      arena[spec.clique_offsets[c.id]:
+                            spec.clique_offsets[c.id] + c.size])
+            for c in self.tree.cliques
+        ]
+        state.sep_pot = [
+            Potential(s.domain,
+                      arena[spec.sep_offsets[s.id]:
+                            spec.sep_offsets[s.id] + s.size])
+            for s in self.tree.separators
+        ]
+        state.log_norm = 0.0
+        return state
+
+    def fresh_batch_state(self, n: int) -> BatchTreeState:
+        """A :class:`BatchTreeState` for ``n`` cases backed by one arena.
+
+        Table-major layout: table *t* occupies the contiguous
+        ``(n, size_t)`` block at ``n * offset_t`` — the same shape the
+        shared-memory arena uses on the process backend, so case-block
+        kernels address both identically.
+        """
+        if n < 1:
+            raise JunctionTreeError(f"batch needs at least one case, got {n}")
+        spec = self.spec
+        base = self.base_cliques
+        buf = np.empty(n * spec.arena_entries)
+        state = BatchTreeState.__new__(BatchTreeState)
+        state.tree = self.tree
+        state.n = n
+        clique_pot: list[np.ndarray] = []
+        for cid, size in enumerate(spec.clique_sizes):
+            off = n * spec.clique_offsets[cid]
+            view = buf[off:off + n * size].reshape(n, size)
+            view[:] = base[cid]
+            clique_pot.append(view)
+        sep_pot: list[np.ndarray] = []
+        for sid, size in enumerate(spec.sep_sizes):
+            off = n * spec.sep_offsets[sid]
+            view = buf[off:off + n * size].reshape(n, size)
+            view.fill(1.0)
+            sep_pot.append(view)
+        state.clique_pot = clique_pot
+        state.sep_pot = sep_pot
+        state.log_norm = np.zeros(n)
+        return state
+
+    # ------------------------------------------------------------- index maps
+    def index_map(self, clique_id: int, sep_id: int, size: int,
+                  triples: StrideTriples,
+                  limit: int | None = None) -> np.ndarray | None:
+        """Cached clique→separator flat index map, or ``None`` over budget.
+
+        The mapping depends only on table shapes — never on evidence — so
+        one map per (clique, separator) pair serves both message
+        directions of that edge forever.
+        """
+        key = (clique_id, sep_id)
+        cached = self._maps.get(key)
+        if cached is not None:
+            return cached
+        cap = self.MAP_CACHE_LIMIT if limit is None else limit
+        if self._map_entries + size > cap:
+            return None
+        imap = triples_to_map(size, triples)
+        self._maps[key] = imap
+        self._map_entries += size
+        return imap
+
+    def message_maps(self, edge: EdgeGeometry, upward: bool,
+                     limit: int | None = None
+                     ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """The (marginalize, absorb) maps for one message direction."""
+        child_map = self.index_map(
+            edge.child, edge.sep_id,
+            self.spec.clique_sizes[edge.child], edge.marg_up, limit)
+        parent_map = self.index_map(
+            edge.parent, edge.sep_id,
+            self.spec.clique_sizes[edge.parent], edge.absorb_up, limit)
+        return (child_map, parent_map) if upward else (parent_map, child_map)
+
+    # -------------------------------------------------------- evidence/queries
+    def evidence_digits(self, name: str) -> tuple[int, np.ndarray]:
+        """``(absorbing clique id, per-entry digit vector)`` for a variable.
+
+        The digit vector gives each entry of the absorbing clique's table
+        the state index of ``name`` in that entry — evidence absorption is
+        then one compare + one multiply, with the mixed-radix arithmetic
+        paid once per (variable, tree) instead of once per inference.
+        """
+        cached = self._ev_digits.get(name)
+        if cached is None:
+            cid = self.tree.smallest_clique_with(name)
+            dom = self.tree.cliques[cid].domain
+            stride, card = dom.stride(name), dom.card(name)
+            digits = (np.arange(dom.size, dtype=np.int64) // stride) % card
+            cached = self._ev_digits[name] = (cid, digits)
+        return cached
+
+    def absorb_hard_evidence(self, state: TreeState,
+                             evidence: dict[str, str | int]) -> None:
+        """Reduce the chosen clique tables in place (zeroing mode).
+
+        Bit-identical to :func:`repro.jt.evidence.absorb_evidence` (a 0/1
+        mask multiply commutes and is exact in float64), but through the
+        plan's cached digit vectors.  Raises
+        :class:`~repro.errors.EvidenceError` on unknown variables/states.
+        """
+        from repro.jt.evidence import check_evidence
+
+        for name, idx in check_evidence(self.tree, evidence).items():
+            cid, digits = self.evidence_digits(name)
+            state.clique_pot[cid].values *= digits == idx
+
+    def absorb_evidence_batch(self, state: BatchTreeState,
+                              cases: list[dict[str, str | int]]) -> None:
+        """Absorb one evidence dict per case row, vectorised per variable.
+
+        The batched analogue of :meth:`absorb_hard_evidence`: all cases
+        observing a variable are zeroed together with one ``(k, table)``
+        mask multiply through the cached digit vector.
+        """
+        from repro.jt.evidence import check_evidence
+
+        if len(cases) != state.n:
+            raise EvidenceError(
+                f"batch state holds {state.n} cases but {len(cases)} "
+                "evidence dicts were given"
+            )
+        by_var: dict[str, list[tuple[int, int]]] = {}
+        for i, evidence in enumerate(cases):
+            for name, idx in check_evidence(self.tree, evidence).items():
+                by_var.setdefault(name, []).append((i, idx))
+        for name, pairs in by_var.items():
+            cid, digits = self.evidence_digits(name)
+            rows = np.array([i for i, _ in pairs], dtype=np.intp)
+            states = np.array([s for _, s in pairs], dtype=np.int64)
+            table = state.clique_pot[cid]
+            table[rows] = table[rows] * (digits[None, :] == states[:, None])
+
+    def posterior_read(self, name: str) -> tuple[int, tuple[int, ...]]:
+        """``(clique id, summed axes)`` answering ``P(name | e)`` reads."""
+        cached = self._var_reads.get(name)
+        if cached is None:
+            if name not in self.tree.net:
+                raise QueryError(f"unknown variable {name!r}")
+            cid = self.tree.smallest_clique_with(name)
+            dom = self.tree.cliques[cid].domain
+            axes = tuple(i for i, v in enumerate(dom.variables)
+                         if v.name != name)
+            cached = self._var_reads[name] = (cid, axes)
+        return cached
+
+    def read_posteriors(self, state: TreeState,
+                        targets: tuple[str, ...] = ()) -> dict[str, np.ndarray]:
+        """Posteriors off a calibrated state through precompiled reads.
+
+        Bit-identical to :func:`repro.jt.query.all_posteriors` (same N-D
+        sums, same normalisation) without per-query domain algebra or
+        Potential temporaries.
+        """
+        names = targets or self.tree.net.variable_names
+        shapes = self.spec.clique_shapes
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            cid, axes = self.posterior_read(name)
+            values = state.clique_pot[cid].values
+            marg = values.reshape(shapes[cid]).sum(axis=axes) if axes else values
+            total = float(marg.sum())
+            if total <= 0.0 or not math.isfinite(total):
+                raise QueryError(
+                    f"cannot normalise posterior of {name!r} (total={total})")
+            out[name] = marg / total
+        return out
+
+    def compiled_messages(self, limit: int | None = None) -> list[tuple]:
+        """The full calibration as a flat, map-prefetched message sequence.
+
+        One ``(upward, src, dst, sep_id, edge, marg_map, absorb_map)``
+        tuple per message, collect phase first (deepest layer inward) then
+        distribute (root outward).  Built once per plan: the hot loop of a
+        map-consuming kernel backend then runs with zero per-message plan
+        lookups — the compile-once counterpart of the paper's "only touch
+        table values at inference time".
+        """
+        if self._compiled is None:
+            spec = self.spec
+            seq: list[tuple] = []
+            for layer in spec.up_layers:
+                for cid in layer:
+                    edge = spec.edges[cid]
+                    m_marg, m_abs = self.message_maps(edge, True, limit)
+                    seq.append((True, cid, edge.parent, edge.sep_id, edge,
+                                m_marg, m_abs))
+            for layer in spec.down_layers:
+                for cid in layer:
+                    edge = spec.edges[cid]
+                    m_marg, m_abs = self.message_maps(edge, False, limit)
+                    seq.append((False, edge.parent, cid, edge.sep_id, edge,
+                                m_marg, m_abs))
+            self._compiled = seq
+        return self._compiled
+
+    def stats(self) -> dict[str, float]:
+        """Plan-level statistics (surfaced by ``info``/CLI)."""
+        return {
+            "plan_arena_bytes": float(self.arena_bytes),
+            "plan_messages": float(self.spec.num_messages),
+            "plan_map_entries": float(self._map_entries),
+        }
+
+
+def compile_plan(tree: JunctionTree,
+                 schedule: LayerSchedule | None = None) -> MessagePlan:
+    """The shared :class:`MessagePlan` for ``tree`` under its current root.
+
+    Cached on the tree object keyed by root, so engines compiled over one
+    tree (warm starts, the service registry's cache states, incremental
+    engines) share one plan — one set of base tables, one map cache.
+    """
+    cache: dict[int, MessagePlan] = tree.__dict__.setdefault("_exec_plans", {})
+    plan = cache.get(tree.root)
+    if plan is None:
+        plan = MessagePlan(tree, schedule if schedule is not None
+                           else compute_layers(tree))
+        cache[tree.root] = plan
+    return plan

@@ -15,7 +15,11 @@ Architecture
 Hugin propagation (:mod:`repro.jt.calibrate`) overwrites clique tables in
 place, which makes evidence *retraction* impossible to express (zeroed
 entries cannot be divided back).  This module therefore keeps a
-Shenoy-Shafer-style state over the same compiled tree:
+Shenoy-Shafer-style state over the same compiled tree, consuming the
+shared execution plan (:func:`repro.exec.plan.compile_plan`) for its
+per-edge sum-axes/broadcast geometry and the cached CPT-product base
+tables — the same :class:`~repro.exec.plan.EdgeGeometry` every other
+engine reads:
 
 * per clique, the **local potential** ``psi_c`` = cached CPT product
   (shared, never mutated) times the clique's current evidence mask;
@@ -56,37 +60,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import EvidenceError, QueryError
+from repro.exec.engine_api import INCREMENTAL_ENGINE
+from repro.exec.plan import compile_plan
 from repro.jt.engine import InferenceResult
 from repro.jt.evidence import check_evidence, evidence_plan
-from repro.jt.structure import JunctionTree, TreeState
+from repro.jt.structure import JunctionTree
 from repro.potential.index_map import consistency_mask
 
 #: Consistency-mask memo cap per engine: (clique, evidence-group) pairs are
 #: few on real traffic, but unbounded keys could leak under adversarial
 #: evidence churn.
 _MASK_CACHE_LIMIT = 512
-
-
-@dataclass(frozen=True)
-class _EdgePlan:
-    """Precomputed ndarray geometry for one tree edge (child <-> parent).
-
-    Clique and separator domains are both ordered by network variable rank
-    (:func:`repro.jt.structure.compile_junction_tree`), so a separator's
-    variable order is a sub-order of both endpoint cliques' orders: a
-    message marginal is a plain ``sum`` over the dropped axes and a message
-    multiply is a plain broadcast — no index maps, no domain algebra on the
-    hot path.
-    """
-
-    #: axes of the child clique's N-D view summed out for child -> sep
-    up_axes: tuple[int, ...]
-    #: axes of the parent clique's N-D view summed out for parent -> sep
-    down_axes: tuple[int, ...]
-    #: separator table reshaped to broadcast against the child's N-D view
-    child_bshape: tuple[int, ...]
-    #: separator table reshaped to broadcast against the parent's N-D view
-    parent_bshape: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -146,36 +130,26 @@ class IncrementalEngine:
     :meth:`update` to feasible evidence recomputes what it invalidated.
     """
 
+    #: Capability flags the service layers dispatch on.
+    capabilities = INCREMENTAL_ENGINE
+
     def __init__(self, tree: JunctionTree,
                  base_cliques: list[np.ndarray] | None = None,
                  evidence: dict[str, str | int] | None = None) -> None:
         self.tree = tree
+        #: The shared execution plan: per-edge ndview geometry + cached
+        #: CPT products, compiled once per (tree, root) and shared with
+        #: every other engine over this tree.
+        self.plan = compile_plan(tree)
+        spec = self.plan.spec
         if base_cliques is None:
-            base_cliques = [p.values for p in TreeState(tree).clique_pot]
+            base_cliques = self.plan.base_cliques
         self._base: list[np.ndarray] = list(base_cliques)
         n = tree.num_cliques
         #: N-D shape of each clique table (domain order = var-rank order).
-        self._cshape: list[tuple[int, ...]] = [
-            tuple(v.cardinality for v in c.domain.variables) for c in tree.cliques
-        ]
-        self._edges: list[_EdgePlan | None] = [None] * n
-        for cid in range(n):
-            parent = tree.parent[cid]
-            if parent < 0:
-                continue
-            sep = tree.separators[tree.parent_sep[cid]]
-            sep_names = set(sep.domain.names)
-            cdom, pdom = tree.cliques[cid].domain, tree.cliques[parent].domain
-            self._edges[cid] = _EdgePlan(
-                up_axes=tuple(i for i, v in enumerate(cdom.variables)
-                              if v.name not in sep_names),
-                down_axes=tuple(i for i, v in enumerate(pdom.variables)
-                                if v.name not in sep_names),
-                child_bshape=tuple(v.cardinality if v.name in sep_names else 1
-                                   for v in cdom.variables),
-                parent_bshape=tuple(v.cardinality if v.name in sep_names else 1
-                                    for v in pdom.variables),
-            )
+        self._cshape: tuple[tuple[int, ...], ...] = spec.clique_shapes
+        #: Per-edge geometry keyed by child clique id (None for the root).
+        self._edges = [spec.edges.get(cid) for cid in range(n)]
         #: (clique id, summed axes) for single-variable posterior reads.
         self._var_axes: dict[str, tuple[int, tuple[int, ...]]] = {}
         #: psi_c: base product x current evidence mask.  Shares the base
@@ -206,9 +180,32 @@ class IncrementalEngine:
 
     # ----------------------------------------------------------------- state
     @property
+    def name(self) -> str:
+        return "incremental"
+
+    @property
     def evidence(self) -> dict[str, int]:
         """The index-normalised evidence the state currently represents."""
         return dict(self._evidence)
+
+    def close(self) -> None:
+        """Nothing to release (no pools, no shared memory); protocol hook."""
+
+    def __enter__(self) -> "IncrementalEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def validate_case(self, evidence: dict | None = None,
+                      soft_evidence: dict | None = None) -> None:
+        """Protocol hook: check a request's evidence without applying it."""
+        check_evidence(self.tree, dict(evidence or {}))
+        if soft_evidence:
+            raise EvidenceError(
+                "the incremental engine expresses hard evidence only "
+                "(soft likelihoods cannot be retracted from a zeroing mask)"
+            )
 
     def clone(self) -> "IncrementalEngine":
         """An independent state sharing all immutable arrays (O(cliques)).
@@ -219,6 +216,7 @@ class IncrementalEngine:
         """
         other = object.__new__(IncrementalEngine)
         other.tree = self.tree
+        other.plan = self.plan
         other._base = self._base
         other._cshape = self._cshape
         other._edges = self._edges
@@ -478,8 +476,15 @@ class IncrementalEngine:
                 f"cannot normalise posterior of {name!r} (total={total})")
         return marg / total
 
-    def posteriors(self, targets: tuple[str, ...] = ()) -> dict[str, np.ndarray]:
-        """Posteriors for ``targets`` (default: every network variable)."""
+    def posteriors(self, targets: tuple[str, ...] = (),
+                   evidence: dict | None = None) -> dict[str, np.ndarray]:
+        """Posteriors for ``targets`` (default: every network variable).
+
+        ``evidence`` (when given) switches the state first via
+        :meth:`update`; omitted, the current evidence state is read.
+        """
+        if evidence is not None:
+            self.update(evidence)
         names = targets or self.tree.net.variable_names
         return {name: self.posterior(name) for name in names}
 
@@ -506,6 +511,26 @@ class IncrementalEngine:
             meta={"delta_size": float(delta.size),
                   "dirty_cliques": float(len(delta.dirty_cliques))},
         )
+
+    def infer_batch(self, cases, case_workers: int = 1,
+                    targets: tuple[str, ...] = (),
+                    vectorized: bool = False) -> list[InferenceResult]:
+        """Protocol hook: chain the cases through this state's delta path.
+
+        The incremental engine has no vectorised case axis — its batch
+        form is sequential chaining, which is exactly where it shines when
+        consecutive cases overlap (``case_workers``/``vectorized`` are
+        accepted for interface compatibility and ignored).
+        """
+        from repro.core.batch import case_evidence, case_soft_evidence
+
+        results = []
+        for case in cases:
+            if case_soft_evidence(case):
+                raise EvidenceError(
+                    "the incremental engine expresses hard evidence only")
+            results.append(self.infer(case_evidence(case), targets))
+        return results
 
     def recalibrate(self) -> None:
         """Force every message valid (one full sweep's worth of work).

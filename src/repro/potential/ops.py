@@ -20,6 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import PotentialError
+from repro.exec.kernels import (gather_absorb_batch, gather_marginalize_batch,
+                                nd_absorb_batch, nd_marginalize_batch)
 from repro.potential.domain import Domain
 from repro.potential.factor import Potential
 from repro.potential.index_map import (
@@ -195,6 +197,10 @@ def marginalize_batch(values: np.ndarray, domain: Domain,
     same domain.  Returns ``(N, subset.size)`` with the subset keeping
     ``domain``'s variable order (exactly :func:`marginalize` per row, but as
     one contiguous NumPy reduction over the whole batch).
+
+    Thin domain-level wrapper over the shared plan kernels
+    (:mod:`repro.exec.kernels`): this function resolves the domain algebra
+    (subset order, dropped axes / index map) and delegates the table work.
     """
     method = _check_method(method)
     values = np.asarray(values, dtype=np.float64)
@@ -205,17 +211,12 @@ def marginalize_batch(values: np.ndarray, domain: Domain,
     out_dom = domain.subset(tuple(keep))
     if out_dom.names == domain.names:
         return values.copy()
-    n = values.shape[0]
     if method == "ndview":
-        drop = tuple(i + 1 for i, v in enumerate(domain.variables)
+        drop = tuple(i for i, v in enumerate(domain.variables)
                      if v.name not in out_dom)
-        return np.ascontiguousarray(
-            values.reshape((n,) + domain.shape).sum(axis=drop).reshape(n, out_dom.size))
-    imap = map_indices(domain, out_dom)
-    shifted = imap[None, :] + (np.arange(n, dtype=np.int64) * out_dom.size)[:, None]
-    flat = np.bincount(shifted.ravel(), weights=values.ravel(),
-                       minlength=n * out_dom.size)
-    return flat.reshape(n, out_dom.size)
+        return nd_marginalize_batch(values, domain.shape, drop)
+    return gather_marginalize_batch(values, map_indices(domain, out_dom),
+                                    out_dom.size)
 
 
 def absorb_batch(values: np.ndarray, domain: Domain,
@@ -228,6 +229,10 @@ def absorb_batch(values: np.ndarray, domain: Domain,
     ``other`` is extended into ``domain`` and multiplied into row *i* of
     ``values`` — the batched form of :func:`multiply_into` (the Hugin
     absorption update) for ``N`` cases in one broadcast.
+
+    Thin domain-level wrapper over the shared plan kernels
+    (:mod:`repro.exec.kernels`): the domain algebra resolves here, the
+    table work happens there.
     """
     method = _check_method(method)
     missing = [n for n in other_domain.names if n not in domain]
@@ -240,18 +245,11 @@ def absorb_batch(values: np.ndarray, domain: Domain,
         raise PotentialError(
             f"batch shapes {values.shape} / {other.shape} disagree on the case axis"
         )
-    n = values.shape[0]
     if method == "ndview":
-        perm = sorted(range(len(other_domain)),
-                      key=lambda i: domain.axis(other_domain.variables[i]))
-        nd = other.reshape((n,) + other_domain.shape)
-        nd = nd.transpose((0,) + tuple(p + 1 for p in perm))
-        shape = [n] + [1] * len(domain)
-        for v in other_domain.variables:
-            shape[domain.axis(v) + 1] = v.cardinality
-        values.reshape((n,) + domain.shape)[...] *= nd.reshape(shape)
+        axes = tuple(domain.axis(v) for v in other_domain.variables)
+        nd_absorb_batch(values, other, domain.shape, other_domain.shape, axes)
     else:
-        values *= other[:, map_indices(domain, other_domain)]
+        gather_absorb_batch(values, other, map_indices(domain, other_domain))
 
 
 # ------------------------------------------------------------------- normalize

@@ -45,12 +45,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
-from repro.approx.engine import (ApproxInferenceResult, check_net_evidence,
-                                 check_net_soft_evidence)
+from repro.approx.engine import ApproxInferenceResult
 from repro.errors import EvidenceError, QueryError
 from repro.jt.engine import InferenceResult
-from repro.jt.evidence import check_evidence
-from repro.jt.evidence_soft import check_soft_evidence
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelRegistry
 
@@ -145,14 +142,9 @@ class MicroBatcher:
             lambda: self.registry.get(network, engine=engine))
 
     def _validate(self, entry: ModelEntry, request: QueryRequest) -> None:
-        if entry.engine_kind == "approx":
-            check_net_evidence(entry.net, request.evidence)
-            if request.soft_evidence:
-                check_net_soft_evidence(entry.net, request.soft_evidence)
-        else:
-            check_evidence(entry.engine.tree, request.evidence)
-            if request.soft_evidence:
-                check_soft_evidence(entry.engine.tree, request.soft_evidence)
+        # The engine knows how to validate its own requests (the
+        # InferenceEngine protocol); the batcher only checks targets.
+        entry.engine.validate_case(request.evidence, request.soft_evidence)
         for name in request.targets:
             if name not in entry.net:
                 raise QueryError(f"unknown target variable {name!r}")
@@ -172,12 +164,14 @@ class MicroBatcher:
         if self._closed:
             raise EvidenceError("micro-batcher is closed")
         entry = await self.get_entry(network, request.engine)
-        kind = entry.engine_kind
+        caps = entry.capabilities
+        kind = caps.kind
         self._validate(entry, request)
-        if request.soft_evidence and kind == "exact":
-            # The exact batched reduction cannot express likelihood
-            # vectors; the approx engine weights them natively, so only
-            # exact traffic takes the per-case detour.
+        if request.soft_evidence and not caps.batched_soft_evidence:
+            # This engine class cannot take likelihood vectors through its
+            # vectorised flush (the exact batched reduction cannot express
+            # them; samplers weight them natively), so the request takes
+            # the per-case detour.
             self.registry.pin(entry)
             try:
                 result = await self._run_single(entry, request)
@@ -186,11 +180,12 @@ class MicroBatcher:
             finally:
                 self.registry.unpin(entry)
         if not request.evidence and not request.soft_evidence:
-            # Prior query: answered from the resident baseline (exact) or
-            # the resident sampled prior with its error bars (approx).
+            # Prior query: answered from the resident sampled prior with
+            # its error bars when the engine recorded one, else from the
+            # resident calibrated baseline.
             if self.metrics is not None:
                 self.metrics.observe_baseline_hit()
-            if kind == "approx" and entry.prior_result is not None:
+            if entry.prior_result is not None:
                 prior_result = entry.prior_result
             else:
                 prior_result = InferenceResult(
@@ -243,7 +238,8 @@ class MicroBatcher:
         entry = self.registry.pin(await self.get_entry(network, kind))
         try:
             engine = entry.engine
-            if kind == "exact" and entry.cache is not None:
+            caps = entry.capabilities
+            if entry.cache is not None:
                 # Any failure here must fan out to the futures like the
                 # vectorised path's does — a dead flush task would leave
                 # every coalesced client waiting forever.
@@ -259,9 +255,10 @@ class MicroBatcher:
             cases = [pending.request.evidence for pending in batch]
             targets = self._union_targets(batch)
             loop = asyncio.get_running_loop()
-            if kind == "approx":
-                # One shared particle population across every coalesced
-                # case (common random numbers, one pass over the topology).
+            if caps.batched_soft_evidence:
+                # Soft evidence joins the flush (the sampler shares one
+                # particle population across every coalesced case —
+                # common random numbers, one pass over the topology).
                 soft = [pending.request.soft_evidence for pending in batch]
                 work = lambda: engine.infer_cases(  # noqa: E731
                     cases, targets=targets, soft_cases=soft)
@@ -288,7 +285,7 @@ class MicroBatcher:
                 case_result = result.case(i)
                 self._observe_served(kind, case_result)
                 projected = _project(case_result, pending.request.targets)
-                if kind == "exact" and entry.cache is not None:
+                if entry.cache is not None:
                     cold_items.append((pending.request.evidence,
                                        pending.request.targets, projected))
                 if not pending.future.done():

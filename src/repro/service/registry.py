@@ -48,6 +48,7 @@ from repro.bn.network import BayesianNetwork
 from repro.bn.repository import resolve_network
 from repro.core.batch import BatchedFastBNI
 from repro.errors import NetworkError, PlannerError, ReproError
+from repro.exec.engine_api import CAPABILITIES_BY_KIND
 from repro.jt.calibrate import calibrate
 from repro.jt.query import all_posteriors
 from repro.jt.serialize import load_tree, save_tree
@@ -80,7 +81,9 @@ class ModelEntry:
     prior: dict[str, np.ndarray]
     #: Estimated resident footprint (tables + maps + baseline), for LRU.
     resident_bytes: int
-    #: ``"exact"`` or ``"approx"`` — which engine class serves this entry.
+    #: Wire label of the engine class (``engine.capabilities.kind``);
+    #: behavioural decisions dispatch on :attr:`capabilities`, never on
+    #: this string.
     engine_kind: str = "exact"
     #: The planner decision that picked the engine (estimate + reason).
     plan: "PlanDecision | None" = None
@@ -108,13 +111,22 @@ class ModelEntry:
                                       if self.cache is not None else 0)
 
     @property
+    def capabilities(self):
+        """The engine's :class:`~repro.exec.engine_api.EngineCapabilities`."""
+        return self.engine.capabilities
+
+    @property
     def key(self) -> str:
         """Registry cache key (approx residencies are suffixed)."""
         return entry_key(self.name, self.engine_kind)
 
 
 def entry_key(name: str, kind: str) -> str:
-    return name if kind == "exact" else f"{name}@approx"
+    """Registry key: exact engine classes own the bare name, others suffix."""
+    caps = CAPABILITIES_BY_KIND.get(kind)
+    if caps is not None and caps.exact:
+        return name
+    return f"{name}@{kind}"
 
 
 class ModelRegistry:
@@ -315,9 +327,12 @@ class ModelRegistry:
             # Plan under the explicit policy: "exact" must apply the
             # refusal cap, "approx" records the forced-sampling reason.
             decision = self.planner.plan(net, policy=kind)
-        if kind == "approx":
-            return self._load_approx(name, net, decision)
-        return self._load_exact(name, net, decision)
+        # Dispatch on the decided engine class's capabilities: an exact
+        # (tree-compiling) class loads with a calibrated baseline and
+        # inference cache, a sampling class with a sampled prior.
+        if decision.capabilities.exact:
+            return self._load_exact(name, net, decision)
+        return self._load_approx(name, net, decision)
 
     def _load_exact(self, name: str, net: BayesianNetwork,
                     decision: PlanDecision) -> ModelEntry:
@@ -354,7 +369,7 @@ class ModelRegistry:
             baseline=baseline,
             prior=prior,
             resident_bytes=self._estimate_bytes(engine, prior),
-            engine_kind="exact",
+            engine_kind=engine.capabilities.kind,
             plan=decision,
             from_cache=from_cache,
             cache=inference_cache,
@@ -377,7 +392,7 @@ class ModelRegistry:
             baseline=None,
             prior=prior,
             resident_bytes=resident,
-            engine_kind="approx",
+            engine_kind=engine.capabilities.kind,
             plan=decision,
             prior_result=prior_result,
             from_cache=False,
@@ -467,9 +482,23 @@ class ModelRegistry:
                                    if e.from_cache),
                 "policy": self.planner.policy,
                 "exact_models": sum(1 for e in self._entries.values()
-                                    if e.engine_kind == "exact"),
+                                    if e.capabilities.exact),
                 "approx_models": sum(1 for e in self._entries.values()
-                                     if e.engine_kind == "approx"),
+                                     if not e.capabilities.exact),
+                # Active whole-message kernel backend + compiled plan
+                # arena footprint per resident engine (None for engines
+                # without a compiled plan, e.g. samplers).
+                "engines": {
+                    key: {
+                        "kernels": getattr(getattr(e.engine, "kernels", None),
+                                           "name", None),
+                        "plan_arena_bytes": (
+                            e.engine.plan.arena_bytes
+                            if getattr(e.engine, "plan", None) is not None
+                            else None),
+                    }
+                    for key, e in self._entries.items()
+                },
             }
 
     def close(self) -> None:

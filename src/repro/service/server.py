@@ -53,10 +53,10 @@ import time
 
 import numpy as np
 
-from repro.approx.engine import (ApproxInferenceResult, check_net_evidence)
+from repro.approx.engine import ApproxInferenceResult
 from repro.approx.planner import POLICIES
 from repro.errors import EvidenceError, ParseError, QueryError, ReproError
-from repro.jt.evidence import check_evidence
+from repro.exec.engine_api import CAPABILITIES_BY_KIND
 from repro.jt.evidence_soft import split_evidence
 from repro.service.batcher import (DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS,
                                    MicroBatcher, QueryRequest)
@@ -348,10 +348,7 @@ class InferenceServer:
                         "batch path is hard-evidence only — send it as a "
                         "single query"
                     )
-                if entry.engine_kind == "approx":
-                    check_net_evidence(entry.net, hard)
-                else:
-                    check_evidence(entry.engine.tree, hard)
+                entry.engine.validate_case(hard)
                 parsed.append(hard)
             targets = _parse_targets(request.get("targets"))
             result = await self.batcher.run_blocking(
@@ -381,21 +378,22 @@ class InferenceServer:
         if soft:
             raise EvidenceError("mpe supports hard evidence only")
         engine = _parse_engine(request.get("engine"))
-        # Resolve the routing *before* loading: an approx-routed model must
-        # be rejected from the cheap fill-in estimate, not after paying the
-        # sampling-engine load (and possibly evicting a hot exact entry).
+        # Resolve the routing *before* loading: a model routed to an
+        # engine class without MPE support must be rejected from the cheap
+        # fill-in estimate, not after paying the sampling-engine load (and
+        # possibly evicting a hot exact entry).
         kind = engine if engine is not None else self.registry.planner.policy
         if kind == "auto":
             kind = (await self.batcher.run_blocking(
                 lambda: self.registry.plan_for(network))).engine
-        if kind != "exact":
+        if not CAPABILITIES_BY_KIND[kind].supports_mpe:
             raise QueryError(
                 "mpe needs the exact junction-tree engine but "
                 f"{network!r} is served approximately "
                 "(send engine='exact' to force an exact compile)"
             )
-        entry = await self.batcher.get_entry(network, "exact")
-        check_evidence(entry.engine.tree, hard)
+        entry = await self.batcher.get_entry(network, kind)
+        entry.engine.validate_case(hard)
         assignment, log_p = await self.batcher.run_blocking(
             lambda: most_probable_explanation(entry.engine.tree, hard))
         return {
@@ -407,6 +405,7 @@ class InferenceServer:
     async def _op_info(self, network: str, request: dict | None = None) -> dict:
         engine = _parse_engine((request or {}).get("engine"))
         entry = await self.batcher.get_entry(network, engine)
+        exec_plan = getattr(entry.engine, "plan", None)
         info = {
             "network": entry.name,
             "variables": entry.net.num_variables,
@@ -414,6 +413,12 @@ class InferenceServer:
             "tree": entry.engine.stats(),
             "resident_bytes": entry.resident_bytes,
             "compiled_from_cache": entry.from_cache,
+            # The active whole-message kernel backend and the compiled
+            # plan's arena footprint (None for engines without a plan).
+            "kernels": getattr(getattr(entry.engine, "kernels", None),
+                               "name", None),
+            "plan_arena_bytes": (exec_plan.arena_bytes
+                                 if exec_plan is not None else None),
         }
         if entry.plan is not None:
             est = entry.plan.estimate

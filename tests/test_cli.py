@@ -13,8 +13,8 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
             "table1", "scaling", "granularity", "root", "primitives",
-            "overhead", "heuristics", "frontier", "incremental", "info",
-            "query", "serve", "client",
+            "overhead", "heuristics", "frontier", "incremental", "execbench",
+            "info", "query", "serve", "client",
         }
 
     def test_requires_subcommand(self):

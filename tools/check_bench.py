@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for the execution layer (the CI bench job).
+
+Compares a freshly generated ``BENCH_exec.json`` against the committed
+baseline and fails when the execution layer got slower:
+
+1. **per-row timing** — each (path, kernels) row's ``ms_per_case`` may not
+   exceed its baseline counterpart by more than ``--max-slowdown``
+   (default 25%).  Because CI machines differ from the machine that
+   committed the baseline, rows are first *normalised* by the median
+   fresh/baseline ratio across all rows — a uniformly slower machine
+   passes, a single path regressing relative to its peers fails
+   (``--absolute`` disables the normalisation for same-machine runs);
+2. **fused speedup floor** — the fresh single-case fused-vs-numpy speedup
+   must stay above ``--min-speedup`` (default 1.2; the committed artifact
+   documents the acceptance measurement of >= 1.3 on the baseline
+   machine).  This one is machine-independent: it is a ratio of two runs
+   on the *same* machine;
+3. **correctness coupling** — the fresh ``max_abs_diff`` between kernel
+   backends must stay at float64 round-off (< 1e-9), so a "speedup" can
+   never be bought with diverging answers.
+
+Usage::
+
+    python tools/check_bench.py --fresh BENCH_exec.fresh.json \
+        [--baseline BENCH_exec.json] [--max-slowdown 0.25] \
+        [--min-speedup 1.2] [--absolute]
+
+Exit code 0 = within budget; 1 = regression (report on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_rows(report: dict) -> dict[tuple[str, str], float]:
+    return {(row["path"], row["kernels"]): float(row["ms_per_case"])
+            for row in report.get("rows", [])}
+
+
+def check(fresh: dict, baseline: dict, max_slowdown: float,
+          min_speedup: float, absolute: bool) -> list[str]:
+    failures: list[str] = []
+
+    fresh_rows = load_rows(fresh)
+    base_rows = load_rows(baseline)
+    shared = sorted(set(fresh_rows) & set(base_rows))
+    if not shared:
+        return ["no comparable rows between fresh and baseline reports"]
+
+    ratios = {key: fresh_rows[key] / base_rows[key] for key in shared}
+    scale = 1.0 if absolute else statistics.median(ratios.values())
+    for key in shared:
+        relative = ratios[key] / scale
+        if relative > 1.0 + max_slowdown:
+            path, kernels = key
+            failures.append(
+                f"{path}/{kernels}: {fresh_rows[key]:.3f} ms/case is "
+                f"{(relative - 1.0) * 100:.0f}% over baseline "
+                f"{base_rows[key]:.3f} ms/case "
+                f"(machine-scale {scale:.2f}, budget {max_slowdown:.0%})"
+            )
+
+    speedup = float(fresh.get("single_case", {}).get("speedup_fused", 0.0))
+    if speedup < min_speedup:
+        failures.append(
+            f"fused single-case speedup {speedup:.2f}x fell below the "
+            f"{min_speedup:.2f}x floor (baseline artifact: "
+            f"{baseline.get('single_case', {}).get('speedup_fused', 0.0):.2f}x)"
+        )
+
+    max_diff = float(fresh.get("max_abs_diff", 1.0))
+    if not max_diff < 1e-9:
+        failures.append(
+            f"kernel backends diverge: max_abs_diff={max_diff:.3e} "
+            "(must stay at float64 round-off)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="BENCH_exec.fresh.json",
+                        help="freshly generated report (fastbni execbench)")
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_exec.json"),
+                        help="committed baseline artifact")
+    parser.add_argument("--max-slowdown", type=float, default=0.25,
+                        help="per-row slowdown budget after machine "
+                             "normalisation (0.25 = 25%%)")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="floor on the fresh fused single-case speedup")
+    parser.add_argument("--absolute", action="store_true",
+                        help="skip machine normalisation (same-machine runs)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    if fresh.get("schema") != baseline.get("schema"):
+        print(f"schema mismatch: fresh {fresh.get('schema')} vs baseline "
+              f"{baseline.get('schema')}", file=sys.stderr)
+        return 1
+
+    failures = check(fresh, baseline, args.max_slowdown, args.min_speedup,
+                     args.absolute)
+    if failures:
+        print(f"\nBENCH REGRESSION ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"- {failure}", file=sys.stderr)
+        return 1
+    speedup = fresh.get("single_case", {}).get("speedup_fused", 0.0)
+    print(f"bench ok: {len(load_rows(fresh))} rows within "
+          f"{args.max_slowdown:.0%} of baseline, fused speedup "
+          f"{speedup:.2f}x (floor {args.min_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
