@@ -1,0 +1,162 @@
+"""Streaming-session benchmark: update+query vs equivalent cold queries.
+
+The session ops exist for one workload shape: a client whose evidence
+*evolves* — findings arrive a few at a time and posteriors are read after
+each edit.  Without sessions every step pays a full two-phase calibration
+(the cold path a stateless ``query`` bottoms out in when nothing useful
+is cached); with a session each step is one ``session_update`` carrying
+``targets`` — an evidence-delta recalibration plus a posterior read in a
+single round trip against persistent per-session state.
+
+Both paths walk the same chained evidence sequences (hard evidence over
+``evidence_vars`` variables, re-randomising ``(1 - overlap)`` of the
+findings per step — the knob that models how conversational the client
+is) and answer the same single-target + ``log P(e)`` query per step.
+Every step is cross-checked, so the artifact doubles as a correctness
+witness: ``max_abs_diff`` must sit at float64 round-off (≤ 1e-12, the
+CI floor in ``tools/check_bench.py``, alongside the ≥5x speedup floor at
+75% overlap).
+
+The session path runs the real serving stack —
+:class:`~repro.service.sessions.SessionManager` over a
+:class:`~repro.service.registry.ModelRegistry` — not a bare
+:class:`~repro.jt.incremental.IncrementalEngine`, so byte accounting,
+LRU touching and per-session locking are all inside the timed region.
+``python -m repro.cli sessions`` renders the table and writes
+``BENCH_sessions.json``; CI regenerates and uploads it per run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.incremental import _evidence_sequences
+from repro.bn.repository import resolve_network
+from repro.core import FastBNI
+from repro.errors import EvidenceError
+from repro.jt.incremental import IncrementalEngine
+from repro.service.registry import ModelRegistry
+from repro.service.sessions import SessionManager
+
+#: Overlap fractions swept by default; 0.75 is the ISSUE's headline regime.
+DEFAULT_OVERLAPS = (0.5, 0.75, 0.9)
+#: Default network: a deep paper analog where a cold calibration is
+#: genuinely expensive — on toy networks Python constant factors, not
+#: propagation, dominate both paths and the ratio measures noise.
+DEFAULT_NETWORK = "diabetes"
+DEFAULT_QUERIES = 80
+DEFAULT_EVIDENCE_VARS = 4
+
+SCHEMA = "fastbni-bench-sessions-v1"
+
+
+def run_sessions(network: str = DEFAULT_NETWORK,
+                 overlaps: tuple[float, ...] = DEFAULT_OVERLAPS,
+                 num_queries: int = DEFAULT_QUERIES,
+                 evidence_vars: int = DEFAULT_EVIDENCE_VARS,
+                 seed: int = 2023) -> dict:
+    """Run the sweep; returns the JSON-ready report dict.
+
+    One row per overlap fraction: per-step latency of the cold path
+    (full calibration per query) and the session path (``session_open``
+    + one ``update``-with-``targets`` per step, manager overhead
+    included), their ratio, the mean applied delta size, and the worst
+    posterior/log P(e) disagreement between the two paths.
+    """
+    net = resolve_network(network)
+    rng = np.random.default_rng(seed)
+    cold = FastBNI(net, mode="seq")
+    checker_state = IncrementalEngine(cold.tree)
+
+    def feasible(evidence: dict[str, int]) -> bool:
+        try:
+            checker_state.update(evidence)
+            return np.isfinite(checker_state.log_evidence())
+        except EvidenceError:
+            return False
+
+    target = net.variable_names[-1]
+    targets = (target,)
+    registry = ModelRegistry()
+    manager = SessionManager(registry)
+    registry.get(network)  # warm the entry: both paths start compiled
+
+    rows = []
+    for overlap in overlaps:
+        sequence = _evidence_sequences(
+            net, feasible, rng, overlap=overlap, k=evidence_vars,
+            num_queries=num_queries, exclude={target})
+
+        start = time.perf_counter()
+        cold_results = [cold.infer(e, targets) for e in sequence]
+        cold_s = time.perf_counter() - start
+
+        delta_sizes = []
+        session_results = []
+        start = time.perf_counter()
+        sid = manager.open(network)["session"]
+        for e in sequence:
+            r = manager.update(sid, evidence=e, replace=True, targets=targets)
+            delta_sizes.append(r["delta"]["size"])
+            session_results.append((r["posteriors"], r["log_evidence"]))
+        manager.close(sid)
+        session_s = time.perf_counter() - start
+
+        max_diff = 0.0
+        for ref, (post, log_ev) in zip(cold_results, session_results):
+            max_diff = max(max_diff, float(np.max(
+                np.abs(post[target] - ref.posteriors[target]))))
+            max_diff = max(max_diff, abs(log_ev - ref.log_evidence))
+        rows.append({
+            "overlap": overlap,
+            "steps": len(sequence),
+            "cold_ms_per_step": cold_s * 1e3 / len(sequence),
+            "session_ms_per_step": session_s * 1e3 / len(sequence),
+            "speedup": cold_s / session_s if session_s > 0 else float("inf"),
+            "mean_delta_size": float(np.mean(delta_sizes)),
+            "max_abs_diff": max_diff,
+        })
+    manager.close_all()
+    cold.close()
+    registry.close()
+    tree_stats = checker_state.tree.stats()
+    return {
+        "schema": SCHEMA,
+        "network": network,
+        "config": {"num_queries": num_queries,
+                   "evidence_vars": evidence_vars,
+                   "target": target, "seed": seed},
+        "tree": {"num_cliques": tree_stats["num_cliques"],
+                 "num_separators": tree_stats["num_separators"]},
+        "rows": rows,
+    }
+
+
+def render_sessions(report: dict) -> str:
+    """Fixed-width table of the sweep (the CLI's stdout)."""
+    lines = [
+        f"streaming sessions on {report['network']!r} "
+        f"({report['config']['num_queries']} steps/row, "
+        f"{report['config']['evidence_vars']} evidence vars, "
+        f"target {report['config']['target']!r})",
+        f"{'overlap':>8} {'cold ms':>9} {'sess ms':>9} {'speedup':>8} "
+        f"{'edits':>6} {'max diff':>9}",
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['overlap']:>8.2f} {row['cold_ms_per_step']:>9.3f} "
+            f"{row['session_ms_per_step']:>9.3f} {row['speedup']:>7.1f}x "
+            f"{row['mean_delta_size']:>6.1f} {row['max_abs_diff']:>9.1e}"
+        )
+    lines.append("(cold = one full two-phase calibration per step; "
+                 "sess = session_open + update-with-targets per step)")
+    return "\n".join(lines)
+
+
+def write_sessions(report: dict, path: Path | str) -> None:
+    """Write the report as ``BENCH_sessions.json`` (CI artifact)."""
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")

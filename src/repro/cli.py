@@ -18,10 +18,15 @@ Subcommands regenerate every table/figure of the evaluation:
 * ``execbench``   — kernel-backend benchmark, fused vs numpy over the
   shared execution plan (``BENCH_exec.json``, guarded in CI by
   ``tools/check_bench.py``);
+* ``sessions``    — streaming-session speedup vs evidence overlap
+  (session-mode update+query against equivalent cold queries, writes
+  ``BENCH_sessions.json``);
 * ``serve``       — long-lived inference server (compiled-model registry +
-  dynamic micro-batching + exact/approx query planner, JSON-lines over
-  TCP);
-* ``client``      — query a running server (one-shot, scriptable).
+  dynamic micro-batching + exact/approx query planner + streaming
+  evidence sessions, JSON-lines over TCP);
+* ``client``      — query a running server (one-shot, scriptable; the
+  ``session_*`` ops drive streaming sessions and ``session_demo`` runs a
+  scripted open→update→retract→close walk).
 """
 
 from __future__ import annotations
@@ -117,6 +122,22 @@ def _cmd_incremental(args: argparse.Namespace) -> None:
     print(render_incremental(report))
     if args.out:
         write_incremental(report, Path(args.out))
+        print(f"wrote {args.out}")
+
+
+def _cmd_sessions(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.sessions import (render_sessions, run_sessions,
+                                      write_sessions)
+
+    overlaps = tuple(float(o) for o in args.overlaps.split(","))
+    report = run_sessions(network=args.network, overlaps=overlaps,
+                          num_queries=args.queries,
+                          evidence_vars=args.evidence_vars, seed=args.seed)
+    print(render_sessions(report))
+    if args.out:
+        write_sessions(report, Path(args.out))
         print(f"wrote {args.out}")
 
 
@@ -346,12 +367,36 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 "max_bytes": int(args.cache_mb * 1024 * 1024),
                 "min_overlap": args.cache_min_overlap,
             },
+            max_sessions=args.max_sessions,
+            session_ttl_s=args.session_ttl,
+            session_max_bytes=int(args.session_mb * 1024 * 1024),
             mode=args.mode, backend=args.backend, num_workers=args.workers,
             kernels=args.kernels,
         ))
     except KeyboardInterrupt:
         pass
     print("server stopped")
+
+
+def _run_session_demo(client, args: argparse.Namespace) -> None:
+    """Scripted streaming walk: open → add findings → retract → close."""
+    net = _load_any(args.network)
+    names = list(net.variable_names)
+    target = args.targets.split(",")[0] if args.targets else names[-1]
+    steps = [n for n in names if n != target][:3]
+    with client.session(args.network, engine=args.engine or None) as sess:
+        print(f"opened session {sess.id} on {args.network}")
+        for name in steps:
+            state = net.variable(name).states[0]
+            r = sess.update({name: state}, targets=[target])
+            probs = ", ".join(f"{p:.4f}" for p in r["posteriors"][target])
+            print(f"  +{name}={state}: delta size {r['delta']['size']}, "
+                  f"P({target} | e) = [{probs}]")
+        r = sess.update(retract=[steps[0]], targets=[target])
+        probs = ", ".join(f"{p:.4f}" for p in r["posteriors"][target])
+        print(f"  -{steps[0]}: delta size {r['delta']['size']}, "
+              f"P({target} | e) = [{probs}]")
+    print("session closed")
 
 
 def _cmd_client(args: argparse.Namespace) -> None:
@@ -362,9 +407,16 @@ def _cmd_client(args: argparse.Namespace) -> None:
     targets = [t for t in args.targets.split(",") if t] if args.targets else None
     engine = args.engine or None
     needs_network = args.op not in ("health", "stats", "stats_reset",
-                                    "cache_stats")
+                                    "cache_stats", "session_update",
+                                    "session_query", "session_close")
     if needs_network and not args.network:
         raise SystemExit(f"error: op {args.op!r} requires a network argument")
+    needs_session = args.op in ("session_update", "session_query",
+                                "session_close")
+    if needs_session and not args.session:
+        raise SystemExit(f"error: op {args.op!r} requires --session <id>")
+    retract = ([t for t in args.retract.split(",") if t]
+               if args.retract else None)
     try:
         with ServiceClient(args.host, args.port,
                            connect_retry_s=args.connect_timeout) as client:
@@ -382,13 +434,31 @@ def _cmd_client(args: argparse.Namespace) -> None:
                                     engine=engine)
             elif args.op == "info":
                 result = client.info(args.network, engine=engine)
+            elif args.op == "session_demo":
+                _run_session_demo(client, args)
+                return
+            elif args.op == "session_open":
+                result = client.session_open(args.network, evidence or None,
+                                             engine=engine)
+            elif args.op == "session_update":
+                result = client.session_update(args.session, evidence or None,
+                                               retract=retract,
+                                               replace=args.replace,
+                                               targets=targets)
+            elif args.op == "session_query":
+                result = client.session_query(args.session, targets=targets)
+            elif args.op == "session_close":
+                result = client.session_close(args.session)
             else:
                 result = client.call(args.op)
     except ServiceError as exc:
         if args.json:
-            print(json.dumps({"ok": False,
-                              "error": {"type": exc.error_type or "ServiceError",
-                                        "message": str(exc)}}))
+            error = {"type": exc.error_type or "ServiceError",
+                     "message": str(exc)}
+            code = getattr(exc, "code", None)
+            if code is not None:
+                error["code"] = code
+            print(json.dumps({"ok": False, "error": error}))
             raise SystemExit(1)
         raise SystemExit(f"error: {exc}")
     except ReproError as exc:
@@ -488,6 +558,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output JSON path ('' to skip writing)")
     inc.set_defaults(func=_cmd_incremental)
 
+    se = sub.add_parser("sessions",
+                        help="streaming-session speedup vs evidence overlap "
+                             "(writes BENCH_sessions.json)")
+    se.add_argument("--network", default="diabetes",
+                    help="bundled/analog name or .bif path")
+    se.add_argument("--overlaps", default="0.5,0.75,0.9",
+                    help="comma-separated evidence-overlap fractions")
+    se.add_argument("--queries", type=int, default=80,
+                    help="update+query steps per overlap row")
+    se.add_argument("--evidence-vars", type=int, default=4,
+                    help="observed variables per step")
+    se.add_argument("--seed", type=int, default=2023)
+    se.add_argument("--out", default="BENCH_sessions.json",
+                    help="output JSON path ('' to skip writing)")
+    se.set_defaults(func=_cmd_sessions)
+
     eb = sub.add_parser("execbench",
                         help="kernel-backend benchmark: fused vs numpy over "
                              "the shared plan (writes BENCH_exec.json)")
@@ -577,6 +663,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="evidence-overlap fraction below which a query "
                          "takes the cold vectorised path instead of the "
                          "delta path (0 forces delta always)")
+    sv.add_argument("--max-sessions", type=int, default=256,
+                    help="live streaming sessions; past this the "
+                         "least-recently-used is evicted")
+    sv.add_argument("--session-ttl", type=float, default=600.0,
+                    help="idle seconds before a session is evicted "
+                         "(0 disables the TTL sweep)")
+    sv.add_argument("--session-mb", type=float, default=64.0,
+                    help="total session byte budget (sessions also charge "
+                         "their model's entry against --max-mb)")
     sv.add_argument("--mode", default="seq",
                     help="engine mode for served models (default: seq — "
                          "throughput comes from batching, not worker pools)")
@@ -592,8 +687,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="model name or .bif path (not needed for "
                          "health/stats)")
     cl.add_argument("--op", default="query",
-                    choices=("query", "query_batch", "mpe", "info", "health",
-                             "stats", "stats_reset", "cache_stats"))
+                    choices=("query", "query_batch", "mpe", "info",
+                             "session_open", "session_update",
+                             "session_query", "session_close",
+                             "session_demo", "health", "stats",
+                             "stats_reset", "cache_stats"))
+    cl.add_argument("--session", default="",
+                    help="session id (from session_open) for the "
+                         "session_update/session_query/session_close ops")
+    cl.add_argument("--retract", default="",
+                    help="session_update: comma-separated variables to "
+                         "withdraw from the session's evidence")
+    cl.add_argument("--replace", action="store_true",
+                    help="session_update: replace the whole evidence set "
+                         "instead of merging")
     cl.add_argument("--evidence", default="",
                     help='JSON; scalar values are hard evidence, lists are '
                          'soft likelihoods: \'{"smoke": "yes", '

@@ -63,3 +63,18 @@ class ServiceError(ReproError):
     def __init__(self, message: str, error_type: str | None = None) -> None:
         self.error_type = error_type
         super().__init__(message)
+
+
+class SessionError(ServiceError):
+    """A streaming-session operation referenced an id that is not live.
+
+    ``code`` is machine-readable so clients can branch without string
+    matching: ``"session_closed"`` for an id that existed but was closed
+    or evicted (idle TTL, LRU pressure, byte budget), ``"session_unknown"``
+    for an id this server never issued.  The server copies ``code`` into
+    the wire response's ``error.code`` field.
+    """
+
+    def __init__(self, message: str, code: str = "session_closed") -> None:
+        self.code = code
+        super().__init__(message, error_type="SessionError")

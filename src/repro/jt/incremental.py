@@ -163,6 +163,10 @@ class IncrementalEngine:
         self._down_valid = [False] * n
         #: (values, log-scale) per clique; cleared on every dirty update.
         self._belief: list[tuple[np.ndarray, float] | None] = [None] * n
+        #: Cliques with a cached belief, in build order — lets
+        #: :meth:`log_evidence` reuse whatever belief a posterior read
+        #: just built instead of always paying for the root's product.
+        self._belief_cids: list[int] = []
         #: Idempotent memo of consistency masks keyed by
         #: (clique id, sorted evidence-group items); shared across clones.
         self._masks: dict[tuple, np.ndarray] = {}
@@ -229,6 +233,7 @@ class IncrementalEngine:
         other._up_valid = list(self._up_valid)
         other._down_valid = list(self._down_valid)
         other._belief = list(self._belief)
+        other._belief_cids = list(self._belief_cids)
         other._masks = self._masks
         other._evidence = dict(self._evidence)
         other._plan = {cid: dict(g) for cid, g in self._plan.items()}
@@ -310,6 +315,7 @@ class IncrementalEngine:
             if cid != root and cid not in allowed:
                 self._down_valid[cid] = False
         self._belief = [None] * tree.num_cliques
+        self._belief_cids = []
         return delta
 
     def _lca(self, a: int, b: int) -> int:
@@ -443,6 +449,7 @@ class IncrementalEngine:
         self._ensure_down(cid)
         pot, lz = self._product_at(cid)
         self._belief[cid] = (pot, lz)
+        self._belief_cids.append(cid)
         self.counters["beliefs"] += 1
         return self._belief[cid]
 
@@ -489,8 +496,17 @@ class IncrementalEngine:
         return {name: self.posterior(name) for name in names}
 
     def log_evidence(self) -> float:
-        """``log P(evidence)``; ``-inf`` for impossible evidence."""
-        values, lz = self._clique_belief(self.tree.root)
+        """``log P(evidence)``; ``-inf`` for impossible evidence.
+
+        ``P(C, e)`` summed over *any* clique is ``P(e)``, so this reuses
+        a belief a posterior read already built for the current evidence
+        state before paying for the root's full message product — the
+        common "posteriors then log P(e)" read pair costs one belief.
+        """
+        if self._belief_cids:
+            values, lz = self._belief[self._belief_cids[0]]
+        else:
+            values, lz = self._clique_belief(self.tree.root)
         total = float(values.sum())
         if total <= 0.0:
             return -math.inf

@@ -14,9 +14,14 @@ on every invocation; this package amortises both behind an asyncio server:
 * :class:`~repro.service.cache.InferenceCache` — two-tier incremental
   cache per resident model: calibrated states re-propagated by evidence
   delta (:mod:`repro.jt.incremental`) plus a query-result memo;
+* :class:`~repro.service.sessions.SessionManager` — streaming evidence
+  sessions: a persistent per-session incremental state seeded by cloning
+  the model's cache-shared base state, with byte accounting folded into
+  the registry budget, idle-TTL/LRU eviction and pin-backed lifecycle;
 * :class:`~repro.service.server.InferenceServer` — JSON-lines-over-TCP
-  front end (``query``, ``query_batch``, ``mpe``, ``info``, ``health``,
-  ``stats``, ``cache_stats``), stdlib only;
+  front end (``query``, ``query_batch``, ``mpe``, ``info``,
+  ``session_open``/``session_update``/``session_query``/``session_close``,
+  ``health``, ``stats``, ``cache_stats``), stdlib only;
 * :class:`~repro.service.metrics.ServiceMetrics` — latency percentiles,
   batch-fill histograms, cache hit rate, throughput;
 * :class:`~repro.service.client.ServiceClient` — blocking client for CLI,
@@ -27,10 +32,11 @@ Start one with ``fastbni serve`` and query it with ``fastbni client``.
 
 from repro.service.batcher import MicroBatcher, QueryRequest
 from repro.service.cache import InferenceCache
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, Session
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelRegistry, resolve_network
 from repro.service.server import InferenceServer, run_server
+from repro.service.sessions import SessionManager
 
 __all__ = [
     "InferenceCache",
@@ -41,6 +47,8 @@ __all__ = [
     "QueryRequest",
     "ServiceClient",
     "ServiceMetrics",
+    "Session",
+    "SessionManager",
     "resolve_network",
     "run_server",
 ]

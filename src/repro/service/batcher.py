@@ -141,6 +141,19 @@ class MicroBatcher:
         return await self.run_blocking(
             lambda: self.registry.get(network, engine=engine))
 
+    async def get_entry_pinned(self, network: str,
+                               engine: str | None = None) -> ModelEntry:
+        """Atomic lookup + pin off the event loop (no eviction window).
+
+        ``registry.get`` followed by ``registry.pin`` leaves a gap in
+        which a concurrent cold load can LRU-evict the entry and close
+        its engine before the pin lands; any serving path that holds an
+        entry across an ``await`` must take the pin atomically here and
+        release it with ``registry.unpin`` when done.
+        """
+        return await self.run_blocking(
+            lambda: self.registry.get_pinned(network, engine=engine))
+
     def _validate(self, entry: ModelEntry, request: QueryRequest) -> None:
         # The engine knows how to validate its own requests (the
         # InferenceEngine protocol); the batcher only checks targets.
@@ -171,8 +184,10 @@ class MicroBatcher:
             # This engine class cannot take likelihood vectors through its
             # vectorised flush (the exact batched reduction cannot express
             # them; samplers weight them natively), so the request takes
-            # the per-case detour.
-            self.registry.pin(entry)
+            # the per-case detour.  Re-resolve with an atomic pin — the
+            # validation above ran unpinned, and ``entry`` may have been
+            # evicted in the meantime (a resident re-hit is a dict lookup).
+            entry = await self.get_entry_pinned(network, request.engine)
             try:
                 result = await self._run_single(entry, request)
                 self._observe_served(kind, result)
@@ -235,7 +250,7 @@ class MicroBatcher:
     async def _run_batch(self, key: tuple[str, str],
                          batch: list[_Pending]) -> None:
         network, kind = key
-        entry = self.registry.pin(await self.get_entry(network, kind))
+        entry = await self.get_entry_pinned(network, kind)
         try:
             engine = entry.engine
             caps = entry.capabilities

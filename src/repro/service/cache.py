@@ -255,6 +255,25 @@ class InferenceCache:
                 self._counters["seeded"] += 1
                 self._evict_locked()
 
+    def session_state(self, evidence: dict | None = None) -> IncrementalEngine:
+        """An independent calibrated state seeded for a streaming session.
+
+        Clones the cached base state with the best evidence overlap (or
+        the pristine baseline) — O(cliques), no propagation — and records
+        ``evidence`` on the clone, so a session opening near previously
+        served traffic starts with most of its messages already valid.
+        The clone is exclusively the caller's: it never re-enters the LRU
+        and diverges freely from its source.
+        """
+        key = self.evidence_key(evidence)
+        with self._lock:
+            best_key, _score = self._best_key_locked(key)
+            source = (self._states[best_key] if best_key is not None
+                      else self._baseline)
+            state = source.clone()
+        state.update(dict(key))  # key is pre-validated: cannot raise
+        return state
+
     def serve_cases(self, cases: list[tuple[dict, tuple[str, ...]]]
                     ) -> list["CacheServed | BaseException | None"]:
         """Answer what the cache can; ``None`` marks cases for the cold path.

@@ -14,7 +14,7 @@ import json
 import socket
 import time
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SessionError
 from repro.service.server import DEFAULT_PORT
 
 
@@ -85,8 +85,14 @@ class ServiceClient:
         response = self.request(op, **fields)
         if not response.get("ok"):
             error = response.get("error") or {}
-            raise ServiceError(error.get("message", "unknown server error"),
-                               error_type=error.get("type"))
+            message = error.get("message", "unknown server error")
+            if error.get("type") == "SessionError":
+                # Re-raise with the machine-readable code so callers can
+                # branch on eviction ("session_closed") vs typo
+                # ("session_unknown") without string matching.
+                raise SessionError(message,
+                                   code=error.get("code", "session_closed"))
+            raise ServiceError(message, error_type=error.get("type"))
         return response["result"]
 
     # ------------------------------------------------------------ operations
@@ -136,6 +142,42 @@ class ServiceClient:
         """
         return self.call("cache_stats")
 
+    # -------------------------------------------------------------- sessions
+    def session_open(self, network: str, evidence: dict | None = None,
+                     engine: str | None = None) -> dict:
+        """Open a streaming session; the result carries its ``session`` id."""
+        return self.call("session_open", network=network, evidence=evidence,
+                         engine=engine)
+
+    def session_update(self, session: str, evidence: dict | None = None,
+                       retract=None, replace: bool = False,
+                       targets=None) -> dict:
+        """Apply one evidence edit; pass ``targets`` (a list, possibly
+        empty = all variables) to read the fresh posteriors in the same
+        round trip."""
+        return self.call("session_update", session=session, evidence=evidence,
+                         retract=list(retract) if retract else None,
+                         replace=True if replace else None,
+                         targets=list(targets) if targets is not None else None)
+
+    def session_query(self, session: str, targets=None) -> dict:
+        return self.call("session_query", session=session,
+                         targets=list(targets) if targets else None)
+
+    def session_close(self, session: str) -> dict:
+        return self.call("session_close", session=session)
+
+    def session(self, network: str, evidence: dict | None = None,
+                engine: str | None = None) -> "Session":
+        """Open a session wrapped in a context-manager facade::
+
+            with client.session("asia", {"smoke": "yes"}) as sess:
+                sess.update({"xray": "yes"})
+                print(sess.query(["lung"])["posteriors"]["lung"])
+        """
+        return Session(self, self.session_open(network, evidence=evidence,
+                                               engine=engine))
+
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
         try:
@@ -148,3 +190,43 @@ class ServiceClient:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class Session:
+    """Client-side facade over one server session (see
+    :meth:`ServiceClient.session`).
+
+    Thin by design: every method is one wire round trip on the owning
+    client, and the server is the source of truth for the session's
+    evidence and lifetime.  Exiting the context closes the session;
+    a session the server already evicted (idle TTL, byte pressure)
+    raises :class:`~repro.errors.SessionError` with code
+    ``"session_closed"`` — on exit, that is swallowed (the goal, a dead
+    session, is already achieved).
+    """
+
+    def __init__(self, client: ServiceClient, opened: dict) -> None:
+        self._client = client
+        self.id: str = opened["session"]
+        self.network: str = opened["network"]
+
+    def update(self, evidence: dict | None = None, retract=None,
+               replace: bool = False, targets=None) -> dict:
+        return self._client.session_update(self.id, evidence=evidence,
+                                           retract=retract, replace=replace,
+                                           targets=targets)
+
+    def query(self, targets=None) -> dict:
+        return self._client.session_query(self.id, targets=targets)
+
+    def close(self) -> dict:
+        return self._client.session_close(self.id)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        try:
+            self.close()
+        except SessionError:
+            pass  # already closed or evicted server-side

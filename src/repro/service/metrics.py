@@ -74,6 +74,15 @@ class ServiceMetrics:
         self._memo_served = 0
         self._delta_served = 0
         self._delta_size_sum = 0
+        #: Streaming sessions: lifecycle counters (open = the current
+        #: gauge), updates/queries served against session state, and the
+        #: total evidence-edit count across updates.
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._sessions_evicted = 0
+        self._session_updates = 0
+        self._session_queries = 0
+        self._session_delta_sum = 0
 
     def reset(self) -> None:
         """Zero every counter and restart the clock (the ``stats_reset`` op).
@@ -163,6 +172,27 @@ class ServiceMetrics:
                 self._delta_served += 1
                 self._delta_size_sum += delta_size
 
+    def observe_session_event(self, event: str) -> None:
+        """One session lifecycle transition: ``opened``/``closed``/``evicted``."""
+        with self._lock:
+            if event == "opened":
+                self._sessions_opened += 1
+            elif event == "closed":
+                self._sessions_closed += 1
+            else:
+                self._sessions_evicted += 1
+
+    def observe_session_update(self, delta_size: int) -> None:
+        """One ``session_update`` applied ``delta_size`` evidence edits."""
+        with self._lock:
+            self._session_updates += 1
+            self._session_delta_sum += delta_size
+
+    def observe_session_query(self) -> None:
+        """One posterior read served from persistent session state."""
+        with self._lock:
+            self._session_queries += 1
+
     def mean_ess(self) -> float:
         """Mean reported ESS over approx-served queries (0 if none)."""
         with self._lock:
@@ -251,5 +281,17 @@ class ServiceMetrics:
                     "delta_served": self._delta_served,
                     "mean_delta_size": (self._delta_size_sum / self._delta_served
                                         if self._delta_served else 0.0),
+                },
+                "sessions": {
+                    "opened": self._sessions_opened,
+                    "closed": self._sessions_closed,
+                    "evicted": self._sessions_evicted,
+                    "open": (self._sessions_opened - self._sessions_closed
+                             - self._sessions_evicted),
+                    "updates": self._session_updates,
+                    "queries": self._session_queries,
+                    "mean_delta_size": (self._session_delta_sum
+                                        / self._session_updates
+                                        if self._session_updates else 0.0),
                 },
             }

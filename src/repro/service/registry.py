@@ -95,10 +95,18 @@ class ModelEntry:
     meta: dict[str, float] = field(default_factory=dict)
     #: Number of in-flight computations using this entry's engine (see
     #: :meth:`ModelRegistry.lease`); eviction defers the engine close until
-    #: the last lease is released.
+    #: the last lease is released.  Long-lived streaming sessions
+    #: (:mod:`repro.service.sessions`) hold one pin each for their whole
+    #: lifetime, so evicting a model with live sessions retires rather
+    #: than closes the shared engine/plan.
     pins: int = 0
     #: Set when the entry was evicted while pinned.
     retired: bool = False
+    #: Bytes owned by live streaming sessions over this model, maintained
+    #: by the :class:`~repro.service.sessions.SessionManager`; counted in
+    #: :meth:`total_bytes` so sessions charge against the registry budget
+    #: exactly like cache tiers do.
+    session_bytes: int = 0
     #: Two-tier incremental cache (exact entries only, ``None`` when the
     #: registry was built with ``cache=False``).  Lives and dies with the
     #: entry, so replacing or evicting a model can never leave a stale
@@ -106,9 +114,9 @@ class ModelEntry:
     cache: "InferenceCache | None" = None
 
     def total_bytes(self) -> int:
-        """Engine residency plus current cache footprint (for the LRU)."""
-        return self.resident_bytes + (self.cache.total_bytes()
-                                      if self.cache is not None else 0)
+        """Engine residency plus cache and session footprints (for the LRU)."""
+        return (self.resident_bytes + self.session_bytes
+                + (self.cache.total_bytes() if self.cache is not None else 0))
 
     @property
     def capabilities(self):
@@ -271,8 +279,58 @@ class ModelRegistry:
             self._evict_over_budget()
             return loaded
 
+    def get_pinned(self, name: str, engine: str | None = None) -> ModelEntry:
+        """Atomic :meth:`get` + :meth:`pin`: no eviction window in between.
+
+        ``get`` followed by a separate ``pin`` leaves a gap in which a
+        concurrent over-budget eviction can close the engine before the
+        caller's pin lands; here the pin is taken under the same lock
+        acquisition that found (or registered) the entry, so an engine
+        handed out by this method can only ever be *retired* — never
+        closed — until the matching :meth:`unpin`.  Callers must unpin in
+        a ``finally``.
+        """
+        policy = engine if engine is not None else self.planner.policy
+        if policy not in POLICIES:
+            raise PlannerError(
+                f"unknown engine policy {policy!r}; expected one of {POLICIES}")
+        kind = self.plan_for(name).engine if policy == "auto" else policy
+        key = entry_key(name, kind)
+        with self._lock:
+            if self._closed:
+                raise NetworkError("model registry is closed")
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.pins += 1
+                if self.metrics is not None:
+                    self.metrics.observe_cache(hit=True)
+                return entry
+        loaded = self._load(name, kind)
+        with self._lock:
+            if self._closed:
+                loaded.engine.close()
+                raise NetworkError("model registry is closed")
+            existing = self._entries.get(key)
+            if existing is not None:
+                loaded.engine.close()
+                self._entries.move_to_end(key)
+                existing.pins += 1
+                return existing
+            if self.metrics is not None:
+                self.metrics.observe_cache(hit=False)
+            self._entries[key] = loaded
+            loaded.pins += 1
+            self._evict_over_budget()
+            return loaded
+
     def pin(self, entry: ModelEntry) -> ModelEntry:
-        """Hold ``entry``'s engine open across a computation (see lease)."""
+        """Hold ``entry``'s engine open across a computation (see lease).
+
+        Only safe on an entry that cannot be evicted between lookup and
+        pin (e.g. one that is already pinned); fresh lookups should use
+        :meth:`get_pinned` instead.
+        """
         with self._lock:
             entry.pins += 1
         return entry
@@ -293,7 +351,7 @@ class ModelRegistry:
         concurrent eviction merely *retires* the entry and the close
         happens when the last lease is released.
         """
-        entry = self.pin(self.get(name, engine=engine))
+        entry = self.get_pinned(name, engine=engine)
         try:
             yield entry
         finally:
@@ -501,10 +559,25 @@ class ModelRegistry:
                 },
             }
 
+    def enforce_budget(self) -> None:
+        """Re-check the byte budget (e.g. after session growth) and evict.
+
+        External byte contributors (the session manager bumping
+        ``ModelEntry.session_bytes``) call this so growth between lookups
+        still triggers LRU rotation.
+        """
+        with self._lock:
+            self._evict_over_budget()
+
     def close(self) -> None:
+        # Route every entry through _retire, NOT a blind engine.close():
+        # shutdown can race in-flight leases (a flush mid-calibration, a
+        # live session), and closing a pinned engine yanks its backend
+        # pool out from under that work.  Retiring defers each close to
+        # the final unpin, exactly like eviction does.
         with self._lock:
             for entry in self._entries.values():
-                entry.engine.close()
+                self._retire(entry)
             self._entries.clear()
             self._closed = True
 

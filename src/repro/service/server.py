@@ -28,9 +28,23 @@ routing decision.
 Operations: ``query`` (single case, micro-batched), ``query_batch``
 (explicit case list, one vectorised pass), ``mpe`` (most probable
 explanation; exact engine only), ``info`` (network + tree/planner
-statistics), ``health``, ``stats`` (serving metrics snapshot),
-``stats_reset`` (zero the counters, for clean benchmark windows) and
-``cache_stats`` (per-model incremental-cache counters).
+statistics), ``session_open``/``session_update``/``session_query``/
+``session_close`` (streaming evidence sessions), ``health``, ``stats``
+(serving metrics snapshot), ``stats_reset`` (zero the counters, for
+clean benchmark windows) and ``cache_stats`` (per-model
+incremental-cache counters).
+
+Streaming sessions give evolving-evidence clients (one finding at a
+time, posteriors after each) a persistent per-session incremental state
+(:mod:`repro.service.sessions`): ``session_open`` seeds it by cloning
+the model's cache-shared base state, ``session_update`` applies an
+evidence delta (merge/retract/replace; pass ``targets`` to read the
+fresh posteriors in the same round trip), ``session_query`` reads
+without editing, ``session_close`` releases it.  Updates on one session
+are applied in arrival order even when pipelined; distinct sessions run
+concurrently.  Operations on an evicted or closed session fail with an
+explicit ``SessionError`` whose ``error.code`` is ``"session_closed"``
+(``"session_unknown"`` for ids this server never issued).
 
 Repeated-evidence traffic is served by the two-tier incremental cache
 (:mod:`repro.service.cache`) when the registry has it enabled (the
@@ -55,13 +69,17 @@ import numpy as np
 
 from repro.approx.engine import ApproxInferenceResult
 from repro.approx.planner import POLICIES
-from repro.errors import EvidenceError, ParseError, QueryError, ReproError
+from repro.errors import (EvidenceError, ParseError, QueryError, ReproError,
+                          SessionError)
 from repro.exec.engine_api import CAPABILITIES_BY_KIND
 from repro.jt.evidence_soft import split_evidence
 from repro.service.batcher import (DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS,
                                    MicroBatcher, QueryRequest)
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelRegistry
+from repro.service.sessions import (DEFAULT_IDLE_TTL_S, DEFAULT_MAX_SESSIONS,
+                                    SessionManager)
+from repro.service.sessions import DEFAULT_MAX_BYTES as DEFAULT_SESSION_BYTES
 
 DEFAULT_PORT = 7421
 
@@ -70,11 +88,20 @@ _STREAM_LIMIT = 16 * 1024 * 1024
 
 
 def _jsonable(obj):
-    """Recursively convert numpy containers to plain JSON types."""
+    """Recursively convert numpy containers to plain JSON-safe types.
+
+    Non-finite floats (a sampling diagnostic's NaN ESS, a -inf log
+    weight) become ``null``: responses are serialized with
+    ``allow_nan=False``, so a NaN surviving to :meth:`_write` would make
+    ``json.dumps`` raise *after* the dispatch error handling — the
+    client would wait forever for a response line that never comes.
+    """
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        return _jsonable(obj.tolist())
     if isinstance(obj, (np.floating, np.integer)):
-        return obj.item()
+        return _jsonable(obj.item())
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
     if isinstance(obj, dict):
         return {k: _jsonable(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):
@@ -147,6 +174,9 @@ class InferenceServer:
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
                  metrics: ServiceMetrics | None = None,
+                 max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 session_ttl_s: float = DEFAULT_IDLE_TTL_S,
+                 session_max_bytes: int = DEFAULT_SESSION_BYTES,
                  **registry_options) -> None:
         self.host = host
         self.port = port
@@ -158,6 +188,15 @@ class InferenceServer:
         self.batcher = MicroBatcher(self.registry, max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
                                     metrics=self.metrics)
+        self.sessions = SessionManager(self.registry,
+                                       max_sessions=max_sessions,
+                                       idle_ttl_s=session_ttl_s,
+                                       max_bytes=session_max_bytes,
+                                       metrics=self.metrics)
+        #: Per-session asyncio locks: pipelined updates on one session
+        #: apply in arrival order (asyncio.Lock is FIFO) while distinct
+        #: sessions dispatch concurrently to the manager's executor.
+        self._session_locks: dict[str, asyncio.Lock] = {}
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
@@ -194,6 +233,11 @@ class InferenceServer:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
         await self.batcher.aclose()
+        # Sessions drop their registry pins before the registry closes so
+        # the entries they pinned actually release.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.sessions.close_all)
+        self._session_locks.clear()
         if self._owns_registry:
             self.registry.close()
 
@@ -241,7 +285,21 @@ class InferenceServer:
 
     async def _write(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
                      payload: dict) -> None:
-        data = json.dumps(payload, allow_nan=False).encode() + b"\n"
+        try:
+            data = json.dumps(payload, allow_nan=False).encode() + b"\n"
+        except (TypeError, ValueError) as exc:
+            # Last line of defence: serialization runs *after*
+            # _handle_line's error handling, so a payload json.dumps
+            # rejects (an unconverted type, a non-finite float that
+            # slipped past _jsonable) would otherwise drop the response
+            # and leave the client waiting forever.  Answer the request
+            # id with an InternalError instead.
+            data = json.dumps({
+                "id": payload.get("id"), "ok": False,
+                "error": {"type": "InternalError",
+                          "message": ("response not serializable: "
+                                      f"{type(exc).__name__}: {exc}")},
+            }, allow_nan=False).encode() + b"\n"
         async with lock:
             try:
                 writer.write(data)
@@ -268,9 +326,13 @@ class InferenceServer:
             ok = True
             payload = {"id": request_id, "ok": True, "result": _jsonable(result)}
         except ReproError as exc:
-            payload = {"id": request_id, "ok": False,
-                       "error": {"type": type(exc).__name__,
-                                 "message": str(exc)}}
+            error = {"type": type(exc).__name__, "message": str(exc)}
+            # SessionError carries a machine-readable code
+            # ("session_closed" / "session_unknown") for client branching.
+            code = getattr(exc, "code", None)
+            if code is not None:
+                error["code"] = code
+            payload = {"id": request_id, "ok": False, "error": error}
         except Exception as exc:  # noqa: BLE001 - keep the server alive
             payload = {"id": request_id, "ok": False,
                        "error": {"type": "InternalError",
@@ -288,6 +350,12 @@ class InferenceServer:
             return self._op_stats_reset()
         if op == "cache_stats":
             return self._op_cache_stats()
+        if op == "session_update":
+            return await self._op_session_update(request)
+        if op == "session_query":
+            return await self._op_session_query(request)
+        if op == "session_close":
+            return await self._op_session_close(request)
         network = request.get("network")
         if not isinstance(network, str) or not network:
             raise QueryError(f"op {op!r} requires a 'network' string field")
@@ -299,9 +367,12 @@ class InferenceServer:
             return await self._op_mpe(network, request)
         if op == "info":
             return await self._op_info(network, request)
+        if op == "session_open":
+            return await self._op_session_open(network, request)
         raise QueryError(
             f"unknown op {op!r}; expected one of query, query_batch, mpe, "
-            f"info, health, stats, stats_reset, cache_stats"
+            f"info, session_open, session_update, session_query, "
+            f"session_close, health, stats, stats_reset, cache_stats"
         )
 
     async def _op_query(self, network: str, request: dict) -> dict:
@@ -336,8 +407,10 @@ class InferenceServer:
             raise QueryError("query_batch requires a non-empty 'cases' list "
                              "of evidence objects")
         engine = _parse_engine(request.get("engine"))
-        entry = self.registry.pin(
-            await self.batcher.get_entry(network, engine))
+        # Atomic lookup + pin: a separate get-then-pin leaves a window in
+        # which a concurrent cold load can evict this entry and close its
+        # engine before the pin lands.
+        entry = await self.batcher.get_entry_pinned(network, engine)
         try:
             parsed = []
             for i, case in enumerate(cases):
@@ -392,19 +465,32 @@ class InferenceServer:
                 f"{network!r} is served approximately "
                 "(send engine='exact' to force an exact compile)"
             )
-        entry = await self.batcher.get_entry(network, kind)
-        entry.engine.validate_case(hard)
-        assignment, log_p = await self.batcher.run_blocking(
-            lambda: most_probable_explanation(entry.engine.tree, hard))
-        return {
-            "assignment": {name: entry.net.variable(name).states[idx]
-                           for name, idx in assignment.items()},
-            "log_probability": log_p,
-        }
+        # Pinned for the whole run: MPE holds entry.engine.tree across an
+        # executor round trip, and an unpinned entry can be LRU-evicted
+        # (engine closed) by any concurrent cold load in that window.
+        entry = await self.batcher.get_entry_pinned(network, kind)
+        try:
+            entry.engine.validate_case(hard)
+            assignment, log_p = await self.batcher.run_blocking(
+                lambda: most_probable_explanation(entry.engine.tree, hard))
+            return {
+                "assignment": {name: entry.net.variable(name).states[idx]
+                               for name, idx in assignment.items()},
+                "log_probability": log_p,
+            }
+        finally:
+            self.registry.unpin(entry)
 
     async def _op_info(self, network: str, request: dict | None = None) -> dict:
         engine = _parse_engine((request or {}).get("engine"))
-        entry = await self.batcher.get_entry(network, engine)
+        entry = await self.batcher.get_entry_pinned(network, engine)
+        try:
+            return self._info_payload(entry)
+        finally:
+            self.registry.unpin(entry)
+
+    @staticmethod
+    def _info_payload(entry) -> dict:
         exec_plan = getattr(entry.engine, "plan", None)
         info = {
             "network": entry.name,
@@ -431,6 +517,89 @@ class InferenceServer:
             }
         return info
 
+    # --------------------------------------------------------------- sessions
+    async def _run_session(self, fn):
+        """Run a session-manager call on the session executor.
+
+        Distinct sessions propagate concurrently (the executor is wider
+        than one); one session's operations serialize on its manager-side
+        lock, and the server-side asyncio lock in front of this keeps
+        pipelined updates in arrival order.
+        """
+        return await asyncio.get_running_loop().run_in_executor(
+            self.sessions.executor, fn)
+
+    def _session_lock(self, session_id: str) -> asyncio.Lock:
+        lock = self._session_locks.get(session_id)
+        if lock is None:
+            lock = self._session_locks[session_id] = asyncio.Lock()
+        return lock
+
+    @staticmethod
+    def _session_id(request: dict) -> str:
+        sid = request.get("session")
+        if not isinstance(sid, str) or not sid:
+            raise QueryError(
+                "session operations require a 'session' id string")
+        return sid
+
+    @staticmethod
+    def _parse_retract(value) -> tuple[str, ...]:
+        if value is None:
+            return ()
+        if isinstance(value, str):
+            return (value,)
+        if isinstance(value, list) and all(isinstance(v, str) for v in value):
+            return tuple(value)
+        raise QueryError("retract must be a list of variable names")
+
+    async def _op_session_open(self, network: str, request: dict) -> dict:
+        evidence = _require_mapping(request.get("evidence"), "evidence")
+        engine = _parse_engine(request.get("engine"))
+        return await self._run_session(
+            lambda: self.sessions.open(network, evidence=evidence,
+                                       engine=engine))
+
+    async def _op_session_update(self, request: dict) -> dict:
+        sid = self._session_id(request)
+        evidence = _require_mapping(request.get("evidence"), "evidence")
+        retract = self._parse_retract(request.get("retract"))
+        replace = bool(request.get("replace", False))
+        # "targets" present (even []) = read posteriors in the same round
+        # trip; absent = apply the edit only.
+        targets = (_parse_targets(request.get("targets"))
+                   if request.get("targets") is not None else None)
+        async with self._session_lock(sid):
+            try:
+                return await self._run_session(
+                    lambda: self.sessions.update(sid, evidence=evidence,
+                                                 retract=retract,
+                                                 replace=replace,
+                                                 targets=targets))
+            except SessionError:
+                self._session_locks.pop(sid, None)
+                raise
+
+    async def _op_session_query(self, request: dict) -> dict:
+        sid = self._session_id(request)
+        targets = _parse_targets(request.get("targets"))
+        async with self._session_lock(sid):
+            try:
+                return await self._run_session(
+                    lambda: self.sessions.query(sid, targets=targets))
+            except SessionError:
+                self._session_locks.pop(sid, None)
+                raise
+
+    async def _op_session_close(self, request: dict) -> dict:
+        sid = self._session_id(request)
+        async with self._session_lock(sid):
+            try:
+                return await self._run_session(
+                    lambda: self.sessions.close(sid))
+            finally:
+                self._session_locks.pop(sid, None)
+
     def _op_health(self) -> dict:
         return {
             "status": "ok",
@@ -445,6 +614,7 @@ class InferenceServer:
             "max_batch": self.batcher.max_batch,
             "max_wait_ms": self.batcher.max_wait_ms,
         }
+        snapshot["sessions"]["table"] = self.sessions.stats()
         return snapshot
 
     def _op_stats_reset(self) -> dict:
@@ -461,13 +631,21 @@ class InferenceServer:
 
 async def run_server(host: str, port: int, *, preload=(),
                      on_ready=None, **options) -> None:
-    """Start a server and serve until cancelled (the ``fastbni serve`` body)."""
+    """Start a server and serve until cancelled (the ``fastbni serve`` body).
+
+    Exception-safe from construction to stop: constructing the server
+    spins up executor threads (batcher flush workers, session workers)
+    and possibly a registry, so a failing ``preload`` (bad model name) or
+    ``start`` (port already bound) must still tear everything down —
+    otherwise every failed launch leaks non-daemon threads and resident
+    compiled models.  The original exception propagates to the caller.
+    """
     server = InferenceServer(host, port, **options)
-    server.preload(preload)
-    await server.start()
-    if on_ready is not None:
-        on_ready(server)
     try:
+        server.preload(preload)
+        await server.start()
+        if on_ready is not None:
+            on_ready(server)
         await server.serve_forever()
     except asyncio.CancelledError:
         pass

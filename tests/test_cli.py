@@ -14,7 +14,7 @@ class TestParser:
         assert set(sub.choices) == {
             "table1", "scaling", "granularity", "root", "primitives",
             "overhead", "heuristics", "frontier", "incremental", "execbench",
-            "info", "query", "serve", "client",
+            "sessions", "info", "query", "serve", "client",
         }
 
     def test_requires_subcommand(self):

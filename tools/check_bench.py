@@ -20,11 +20,20 @@ baseline and fails when the execution layer got slower:
    backends must stay at float64 round-off (< 1e-9), so a "speedup" can
    never be bought with diverging answers.
 
+With ``--sessions-fresh`` it additionally guards the streaming-session
+artifact (``BENCH_sessions.json``): the 0.75-overlap row's session-mode
+speedup over equivalent cold queries must stay above
+``--min-session-speedup`` (default 5.0) — machine-independent, a ratio of
+two runs on the same machine — and every row's ``max_abs_diff`` between
+the session and cold paths must stay ≤ 1e-12.
+
 Usage::
 
     python tools/check_bench.py --fresh BENCH_exec.fresh.json \
         [--baseline BENCH_exec.json] [--max-slowdown 0.25] \
-        [--min-speedup 1.2] [--absolute]
+        [--min-speedup 1.2] [--absolute] \
+        [--sessions-fresh BENCH_sessions.fresh.json] \
+        [--min-session-speedup 5.0]
 
 Exit code 0 = within budget; 1 = regression (report on stderr).
 """
@@ -85,6 +94,42 @@ def check(fresh: dict, baseline: dict, max_slowdown: float,
     return failures
 
 
+SESSIONS_SCHEMA = "fastbni-bench-sessions-v1"
+#: The ISSUE's headline regime: the acceptance floor applies to this row.
+SESSIONS_HEADLINE_OVERLAP = 0.75
+#: Session answers must agree with cold calibration to float64 round-off.
+SESSIONS_MAX_ABS_DIFF = 1e-12
+
+
+def check_sessions(fresh: dict, min_speedup: float) -> list[str]:
+    """Streaming-session floors: headline speedup + posterior agreement."""
+    failures: list[str] = []
+    if fresh.get("schema") != SESSIONS_SCHEMA:
+        return [f"sessions schema mismatch: {fresh.get('schema')!r} "
+                f"(expected {SESSIONS_SCHEMA!r})"]
+    rows = fresh.get("rows", [])
+    headline = next((r for r in rows
+                     if abs(float(r["overlap"]) - SESSIONS_HEADLINE_OVERLAP)
+                     < 1e-9), None)
+    if headline is None:
+        failures.append(
+            f"sessions report has no {SESSIONS_HEADLINE_OVERLAP}-overlap "
+            "row to apply the speedup floor to")
+    elif float(headline["speedup"]) < min_speedup:
+        failures.append(
+            f"session speedup at {SESSIONS_HEADLINE_OVERLAP} overlap is "
+            f"{float(headline['speedup']):.2f}x, below the "
+            f"{min_speedup:.2f}x floor")
+    for row in rows:
+        diff = float(row.get("max_abs_diff", 1.0))
+        if not diff <= SESSIONS_MAX_ABS_DIFF:
+            failures.append(
+                f"session/cold divergence at overlap {row['overlap']}: "
+                f"max_abs_diff={diff:.3e} (must stay <= "
+                f"{SESSIONS_MAX_ABS_DIFF:.0e})")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default="BENCH_exec.fresh.json",
@@ -98,6 +143,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="floor on the fresh fused single-case speedup")
     parser.add_argument("--absolute", action="store_true",
                         help="skip machine normalisation (same-machine runs)")
+    parser.add_argument("--sessions-fresh", default="",
+                        help="freshly generated sessions report "
+                             "(fastbni sessions); '' skips the check")
+    parser.add_argument("--min-session-speedup", type=float, default=5.0,
+                        help="floor on the fresh session-vs-cold speedup "
+                             "at 0.75 evidence overlap")
     args = parser.parse_args(argv)
 
     fresh = json.loads(Path(args.fresh).read_text())
@@ -109,6 +160,19 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = check(fresh, baseline, args.max_slowdown, args.min_speedup,
                      args.absolute)
+    sessions_note = ""
+    if args.sessions_fresh:
+        sessions = json.loads(Path(args.sessions_fresh).read_text())
+        failures += check_sessions(sessions, args.min_session_speedup)
+        headline = next(
+            (r for r in sessions.get("rows", [])
+             if abs(float(r["overlap"]) - SESSIONS_HEADLINE_OVERLAP) < 1e-9),
+            None)
+        if headline is not None:
+            sessions_note = (f", session speedup "
+                             f"{float(headline['speedup']):.2f}x at "
+                             f"{SESSIONS_HEADLINE_OVERLAP} overlap "
+                             f"(floor {args.min_session_speedup:.2f}x)")
     if failures:
         print(f"\nBENCH REGRESSION ({len(failures)} problem(s)):",
               file=sys.stderr)
@@ -118,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     speedup = fresh.get("single_case", {}).get("speedup_fused", 0.0)
     print(f"bench ok: {len(load_rows(fresh))} rows within "
           f"{args.max_slowdown:.0%} of baseline, fused speedup "
-          f"{speedup:.2f}x (floor {args.min_speedup:.2f}x)")
+          f"{speedup:.2f}x (floor {args.min_speedup:.2f}x){sessions_note}")
     return 0
 
 
