@@ -1,0 +1,291 @@
+"""Observability-overhead benchmark: what does tracing cost?
+
+An instrument that slows the hot path gets turned off and stays off, so
+the tracing layer's contract is quantified, not asserted: this bench
+drives the real server (in-process, loopback TCP, closed loop — the
+``BENCH_service.json`` harness) through four configurations of the same
+workload and reports throughput relative to a no-instrumentation
+baseline:
+
+* ``baseline``     — ``trace_sample_rate=0`` *and* ``trace_slow_log=0``:
+  no trace context is ever allocated and the slow-query log never takes
+  its lock.  The reference denominator.
+* ``off``          — the shipped default: sampling off, slow-query log
+  armed (one float comparison per request).  The ISSUE's ≤2% budget
+  applies here.
+* ``sampled_1pct`` — ``--trace-sample-rate 0.01``: every 100th request
+  carries a full span tree through parse → registry → queue → cache →
+  flush → serialize plus the kernel hooks.  Budgeted at ~10%.
+* ``full``         — ``--trace-sample-rate 1.0``: every request traced.
+  Reported for perspective, not guarded (it is a debugging posture).
+
+Measurement discipline — a 2% budget needs a sub-1% noise floor, and a
+shared CI box injects multi-second CPU-steal bursts worth ±30% into any
+individual timing:
+
+* all four servers live **simultaneously** in one event loop with
+  persistent client connections, so a measurement slice is pure request
+  traffic — no server startup, connect, or compile inside the timed
+  window;
+* the case list is first driven through every server untimed, so timed
+  slices measure the warm steady state and all modes share identical
+  cache behaviour;
+* timing alternates between the modes in many **short slices** whose
+  order reverses every round (ABBA counterbalancing), so an external
+  burst spans several modes' slices instead of electing one, and the
+  consistent first-in-round penalty cancels;
+* a ``gc.collect()`` precedes every slice so no mode inherits another's
+  garbage;
+* each mode's overhead is computed from **paired ratios** against the
+  baseline slice of the *same* round — a burst that slows a whole round
+  inflates both sides of its ratio and cancels.  Each forward round's
+  ratio is then geometric-mean-averaged with its reversed partner round
+  (the modes swap in-round positions between the two), which cancels any
+  first-order within-round drift that plain pairing cannot; the median
+  over those balanced pairs discards rounds a burst partially corrupted.
+  Reported throughput is the aggregate over all slices.
+
+The ``full`` server doubles as a coverage witness: the report records
+how many traces were captured, that the slow log works, and the ratio of
+(queue wait + cache lookup + execute + serialize) stage time to
+end-to-end latency for traced requests — the decomposition-accounts-for-
+the-latency property the acceptance test pins at ≥90%.
+
+``fastbni obsbench`` renders the table and writes ``BENCH_obs.json``;
+``tools/check_bench.py --obs`` guards the budgets in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.bn.repository import resolve_network
+from repro.bn.sampling import generate_test_cases
+
+SCHEMA = "fastbni-bench-obs-v1"
+
+DEFAULT_NETWORK = "asia"
+#: Requests per timing slice — short on purpose: an external CPU-steal
+#: burst then corrupts a minority of paired ratios, which the median
+#: discards.
+DEFAULT_REQUESTS = 100
+DEFAULT_CONCURRENCY = 8
+#: Even on purpose: rounds alternate mode order (ABBA), so an even count
+#: gives every mode each position equally often.
+DEFAULT_REPEATS = 24
+
+#: The four server configurations compared (name → server kwargs).
+#: ``full`` drops the slow threshold to 0 so the benchmark's short
+#: queries also exercise (and witness) the top-K slow-log bookkeeping;
+#: ``off`` keeps the shipped 100 ms threshold — its per-request cost is
+#: the float comparison, which is what the ≤2% budget is about.
+MODES: dict[str, dict] = {
+    "baseline": {"trace_sample_rate": 0.0, "trace_slow_log": 0},
+    "off": {},
+    "sampled_1pct": {"trace_sample_rate": 0.01},
+    # trace_buffer covers warm-up + every timed slice so the early
+    # (cache-cold, engine-executing) traces survive for the witness.
+    "full": {"trace_sample_rate": 1.0, "trace_slow_ms": 0.0,
+             "trace_buffer": 8192},
+}
+
+#: Root-child stages whose summed duration should account for a traced
+#: request's latency (compile time hides in registry_lookup, so the
+#: witness only considers warm traces that actually executed).
+WITNESS_STAGES = ("queue_wait", "cache_lookup", "execute", "serialize")
+
+
+async def _sweep(network: str, cases: list[dict], concurrency: int,
+                 repeats: int, *, max_batch: int,
+                 max_wait_ms: float) -> tuple[dict, dict, list]:
+    """All four servers at once; interleaved warm timing slices.
+
+    Returns (per-mode elapsed lists, per-mode tracer stats, the full
+    server's buffered traces).
+    """
+    from repro.service import InferenceServer
+
+    servers: dict[str, InferenceServer] = {}
+    conns: dict[str, list] = {}
+    try:
+        for mode, kwargs in MODES.items():
+            server = InferenceServer(port=0, max_batch=max_batch,
+                                     max_wait_ms=max_wait_ms, **kwargs)
+            server.preload([network])
+            await server.start()
+            servers[mode] = server
+            conns[mode] = [await asyncio.open_connection(
+                "127.0.0.1", server.port) for _ in range(concurrency)]
+
+        async def one_slice(mode: str) -> float:
+            work = iter(range(len(cases)))
+
+            async def worker(reader, writer) -> None:
+                for i in work:
+                    writer.write(json.dumps({
+                        "id": i, "op": "query", "network": network,
+                        "evidence": cases[i],
+                    }).encode() + b"\n")
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    if not response.get("ok"):
+                        raise RuntimeError(
+                            f"query failed: {response.get('error')}")
+
+            start = time.perf_counter()
+            await asyncio.gather(*[worker(r, w) for r, w in conns[mode]])
+            return time.perf_counter() - start
+
+        # Untimed warm-up: every server sees the whole case list, so the
+        # timed slices below all run against identically warm caches and
+        # pay no compile or allocator cold costs.
+        for mode in MODES:
+            await one_slice(mode)
+
+        elapsed: dict[str, list[float]] = {mode: [] for mode in MODES}
+        for round_i in range(repeats):
+            order = list(MODES)
+            if round_i % 2:
+                order.reverse()  # counterbalance in-round position bias
+            for mode in order:
+                gc.collect()
+                elapsed[mode].append(await one_slice(mode))
+
+        stats: dict[str, dict] = {}
+        for mode, server in servers.items():
+            tracing = server.tracer.stats()
+            tracing["slow_queries"] = len(server.tracer.slow_queries())
+            stats[mode] = tracing
+        traces = servers["full"].tracer.traces()
+        return elapsed, stats, traces
+    finally:
+        for pairs in conns.values():
+            for _, writer in pairs:
+                writer.close()
+        for server in servers.values():
+            await server.stop()
+
+
+def _witness(traces: list[dict]) -> dict:
+    """Stage-decomposition coverage over the ``full`` server's traces.
+
+    For every warm trace (one that reached the engine — it has an
+    ``execute`` span), sum the root-child stage durations and divide by
+    the request's end-to-end latency.  Near 1.0 means the span tree
+    explains where the time went; the acceptance test requires ≥0.9.
+    """
+    ratios = []
+    span_names: set[str] = set()
+    for trace in traces:
+        names = {s["name"] for s in trace["spans"]}
+        span_names |= names
+        latency = trace["spans"][0]["attributes"].get("latency_ms", 0.0)
+        if "execute" not in names or latency <= 0:
+            continue
+        total = sum(s["duration_ms"] for s in trace["spans"]
+                    if s["name"] in WITNESS_STAGES)
+        ratios.append(total / latency)
+    ratios.sort()
+    return {
+        "traced_requests": len(traces),
+        "executed_traces": len(ratios),
+        "span_names": sorted(span_names),
+        "stage_sum_ratio_median": (ratios[len(ratios) // 2]
+                                   if ratios else None),
+        "stage_sum_ratio_max": (ratios[-1] if ratios else None),
+    }
+
+
+def run_obs(network: str = DEFAULT_NETWORK,
+            requests: int = DEFAULT_REQUESTS,
+            concurrency: int = DEFAULT_CONCURRENCY,
+            repeats: int = DEFAULT_REPEATS,
+            seed: int = 2023, *, max_batch: int = 32,
+            max_wait_ms: float = 2.0) -> dict:
+    """Run the four-mode sweep; returns the JSON-ready report dict.
+
+    All modes run as live servers in one process over the *same* seeded
+    case list; timing slices alternate between them (order reversing per
+    round), throughput is aggregate over slices, and overhead is the
+    median per-round paired ratio against the baseline slice.
+    """
+    net = resolve_network(network)
+    cases = [c.evidence for c in generate_test_cases(
+        net, requests, observed_fraction=0.2, rng=seed)]
+
+    elapsed, stats, traces = asyncio.run(_sweep(
+        network, cases, concurrency, repeats,
+        max_batch=max_batch, max_wait_ms=max_wait_ms))
+    witness = _witness(traces)
+
+    # Overhead: pair each slice with the same round's baseline slice
+    # (cancels whole-round noise), geometric-mean each forward round
+    # with its order-reversed partner (the modes swap in-round
+    # positions, so first-order drift within a round cancels), then
+    # take the median over the balanced pairs (discards rounds a burst
+    # partially corrupted).
+    base_elapsed = elapsed["baseline"]
+    modes = {}
+    for mode, samples in elapsed.items():
+        raw = [m / b for m, b in zip(samples, base_elapsed)]
+        ratios = sorted((raw[i] * raw[i + 1]) ** 0.5
+                        for i in range(0, len(raw) - 1, 2))
+        mid = len(ratios) // 2
+        ratio = (ratios[mid] if len(ratios) % 2
+                 else (ratios[mid - 1] + ratios[mid]) / 2.0)
+        modes[mode] = {
+            "rps": repeats * requests / sum(samples),
+            "rps_runs": [round(requests / e, 1) for e in samples],
+            "overhead_pct": ((ratio - 1.0) * 100.0
+                             if mode != "baseline" else 0.0),
+            "tracing": stats[mode],
+        }
+    return {
+        "schema": SCHEMA,
+        "network": network,
+        "config": {"requests": requests, "concurrency": concurrency,
+                   "repeats": repeats, "seed": seed, "max_batch": max_batch,
+                   "max_wait_ms": max_wait_ms},
+        "modes": modes,
+        "witness": witness,
+    }
+
+
+def render_obs(report: dict) -> str:
+    """Fixed-width table of the sweep (the CLI's stdout)."""
+    cfg = report["config"]
+    lines = [
+        f"observability overhead on {report['network']!r} "
+        f"({cfg['requests']} requests/slice, concurrency "
+        f"{cfg['concurrency']}, {cfg['repeats']} counterbalanced rounds)",
+        f"{'mode':>14} {'req/s':>9} {'overhead':>9} {'sampled':>8} "
+        f"{'slow log':>8}",
+    ]
+    for mode, row in report["modes"].items():
+        tracing = row["tracing"]
+        lines.append(
+            f"{mode:>14} {row['rps']:>9.1f} {row['overhead_pct']:>8.2f}% "
+            f"{tracing['traces_sampled']:>8} {tracing['slow_queries']:>8}"
+        )
+    witness = report.get("witness")
+    if witness:
+        median = witness["stage_sum_ratio_median"]
+        lines.append(
+            f"(full-trace witness: {witness['executed_traces']} engine-"
+            f"executing traces, median stage-sum/latency "
+            f"{median:.2f})" if median is not None else
+            "(full-trace witness: no engine-executing traces captured)"
+        )
+    lines.append("(baseline = sampling off + slow log off; off = shipped "
+                 "defaults; overhead vs baseline, median of "
+                 "position-balanced paired ratios)")
+    return "\n".join(lines)
+
+
+def write_obs(report: dict, path: Path | str) -> None:
+    """Write the report as ``BENCH_obs.json`` (CI artifact)."""
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")

@@ -23,10 +23,17 @@ Subcommands regenerate every table/figure of the evaluation:
   ``BENCH_sessions.json``);
 * ``serve``       — long-lived inference server (compiled-model registry +
   dynamic micro-batching + exact/approx query planner + streaming
-  evidence sessions, JSON-lines over TCP);
+  evidence sessions, JSON-lines over TCP; ``--trace-sample-rate`` turns
+  on sampled request tracing);
 * ``client``      — query a running server (one-shot, scriptable; the
-  ``session_*`` ops drive streaming sessions and ``session_demo`` runs a
-  scripted open→update→retract→close walk).
+  ``session_*`` ops drive streaming sessions, ``session_demo`` runs a
+  scripted open→update→retract→close walk, ``metrics`` prints the
+  Prometheus exposition and ``slow_queries`` the slow-query log);
+* ``trace``       — fetch a running server's sampled traces and write
+  them as Chrome trace-event JSON (open in chrome://tracing/Perfetto);
+* ``obsbench``    — observability-overhead benchmark: throughput with
+  tracing disabled/sampled/full vs a no-instrumentation baseline
+  (``BENCH_obs.json``, guarded in CI by ``tools/check_bench.py --obs``).
 """
 
 from __future__ import annotations
@@ -370,6 +377,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             max_sessions=args.max_sessions,
             session_ttl_s=args.session_ttl,
             session_max_bytes=int(args.session_mb * 1024 * 1024),
+            trace_sample_rate=args.trace_sample_rate,
+            trace_buffer=args.trace_buffer,
+            trace_slow_ms=args.trace_slow_ms,
+            trace_slow_log=args.trace_slow_log,
             mode=args.mode, backend=args.backend, num_workers=args.workers,
             kernels=args.kernels,
         ))
@@ -399,6 +410,40 @@ def _run_session_demo(client, args: argparse.Namespace) -> None:
     print("session closed")
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Fetch the server's sampled traces as Chrome trace-event JSON."""
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(args.host, args.port,
+                           connect_retry_s=args.connect_timeout) as client:
+            dump = client.trace_dump()
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    count = dump.pop("traceCount", 0)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(dump, fh)
+    print(f"wrote {len(dump.get('traceEvents', []))} events from {count} "
+          f"traces to {args.out} (open in chrome://tracing or Perfetto)")
+    if count == 0:
+        print("note: no traces buffered — serve with --trace-sample-rate > 0")
+
+
+def _cmd_obsbench(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.obs import render_obs, run_obs, write_obs
+
+    report = run_obs(network=args.network, requests=args.requests,
+                     concurrency=args.concurrency, repeats=args.repeats,
+                     seed=args.seed)
+    print(render_obs(report))
+    if args.out:
+        write_obs(report, Path(args.out))
+        print(f"wrote {args.out}")
+
+
 def _cmd_client(args: argparse.Namespace) -> None:
     from repro.errors import ReproError, ServiceError
     from repro.service.client import ServiceClient
@@ -407,7 +452,8 @@ def _cmd_client(args: argparse.Namespace) -> None:
     targets = [t for t in args.targets.split(",") if t] if args.targets else None
     engine = args.engine or None
     needs_network = args.op not in ("health", "stats", "stats_reset",
-                                    "cache_stats", "session_update",
+                                    "cache_stats", "metrics", "slow_queries",
+                                    "trace_dump", "session_update",
                                     "session_query", "session_close")
     if needs_network and not args.network:
         raise SystemExit(f"error: op {args.op!r} requires a network argument")
@@ -449,6 +495,11 @@ def _cmd_client(args: argparse.Namespace) -> None:
                 result = client.session_query(args.session, targets=targets)
             elif args.op == "session_close":
                 result = client.session_close(args.session)
+            elif args.op == "metrics" and not args.json:
+                # The exposition text is the deliverable: print it raw
+                # (scrapeable), not wrapped in a JSON envelope.
+                print(client.metrics(), end="")
+                return
             else:
                 result = client.call(args.op)
     except ServiceError as exc:
@@ -672,6 +723,19 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--session-mb", type=float, default=64.0,
                     help="total session byte budget (sessions also charge "
                          "their model's entry against --max-mb)")
+    sv.add_argument("--trace-sample-rate", type=float, default=0.0,
+                    help="fraction of requests carrying a full span trace "
+                         "(deterministic every-Nth sampling; 0 = off, "
+                         "1 = every request)")
+    sv.add_argument("--trace-buffer", type=int, default=256,
+                    help="sampled traces kept in the ring buffer "
+                         "(trace_dump / fastbni trace read this window)")
+    sv.add_argument("--trace-slow-ms", type=float, default=100.0,
+                    help="latency threshold for the slow-query log "
+                         "(tracks every request, sampled or not)")
+    sv.add_argument("--trace-slow-log", type=int, default=32,
+                    help="slow-query log size (top-K slowest over the "
+                         "threshold; 0 disables the log)")
     sv.add_argument("--mode", default="seq",
                     help="engine mode for served models (default: seq — "
                          "throughput comes from batching, not worker pools)")
@@ -691,7 +755,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "session_open", "session_update",
                              "session_query", "session_close",
                              "session_demo", "health", "stats",
-                             "stats_reset", "cache_stats"))
+                             "stats_reset", "cache_stats", "metrics",
+                             "slow_queries", "trace_dump"))
     cl.add_argument("--session", default="",
                     help="session id (from session_open) for the "
                          "session_update/session_query/session_close ops")
@@ -717,6 +782,33 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("--json", action="store_true",
                     help="print the raw JSON response envelope")
     cl.set_defaults(func=_cmd_client)
+
+    tr = sub.add_parser("trace",
+                        help="dump a running server's sampled traces as "
+                             "Chrome trace-event JSON")
+    tr.add_argument("out", help="output file (chrome://tracing / Perfetto)")
+    tr.add_argument("--host", default="127.0.0.1")
+    tr.add_argument("--port", type=int, default=7421)
+    tr.add_argument("--connect-timeout", type=float, default=5.0,
+                    help="keep retrying the connect for this many seconds")
+    tr.set_defaults(func=_cmd_trace)
+
+    ob = sub.add_parser("obsbench",
+                        help="observability-overhead benchmark: tracing "
+                             "off/sampled/full vs a no-instrumentation "
+                             "baseline (writes BENCH_obs.json)")
+    ob.add_argument("--network", default="asia",
+                    help="bundled/analog name or .bif path")
+    ob.add_argument("--requests", type=int, default=100,
+                    help="closed-loop requests per mode per round")
+    ob.add_argument("--concurrency", type=int, default=8,
+                    help="concurrent closed-loop client connections")
+    ob.add_argument("--repeats", type=int, default=24,
+                    help="interleaved counterbalanced timing rounds")
+    ob.add_argument("--seed", type=int, default=2023)
+    ob.add_argument("--out", default="BENCH_obs.json",
+                    help="output JSON path ('' to skip writing)")
+    ob.set_defaults(func=_cmd_obsbench)
     return p
 
 

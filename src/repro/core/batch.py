@@ -41,6 +41,7 @@ and falls back to the per-case loop).
 
 from __future__ import annotations
 
+import time
 from typing import Mapping
 
 import numpy as np
@@ -48,6 +49,7 @@ import numpy as np
 from repro.core.fastbni import FastBNI
 from repro.errors import EvidenceError
 from repro.exec.kernels import get_kernels
+from repro.obs.trace import current_kernel_hooks
 from repro.exec.plan import PlanSpec
 from repro.jt.engine import BatchInferenceResult
 from repro.jt.query import all_posteriors_batch, log_evidence_batch
@@ -152,8 +154,17 @@ def infer_cases(
     tree = engine.tree
     plan = engine.plan
     spec = plan.spec
+    # An installed recorder (repro.obs: a sampled request upstream) gets
+    # the batched path's stage timings — evidence absorption and the
+    # block calibration — since this path never enters
+    # run_message_schedule.  None on the untraced hot path.
+    hooks = current_kernel_hooks()
     state = plan.fresh_batch_state(n)
+    absorb_start = time.perf_counter() if hooks is not None else 0.0
     plan.absorb_evidence_batch(state, [case_evidence(c) for c in cases])
+    if hooks is not None:
+        hooks.on_absorb(time.perf_counter() - absorb_start,
+                        cliques=tree.num_cliques)
 
     # Warm the plan's index-map cache serially (read-only once dispatched;
     # empty on the process backend, whose workers recompute maps — and
@@ -199,6 +210,7 @@ def infer_cases(
         tasks = [(calibrate_case_block,
                   (clique_refs, sep_refs, spec, kernels_name, n, lo, hi, maps))
                  for lo, hi in blocks]
+        schedule_start = time.perf_counter() if hooks is not None else 0.0
         if len(tasks) == 1 or engine.backend.name == "serial":
             engine.count("inline_layers")
             for (lo, hi), (fn, args) in zip(blocks, tasks):
@@ -208,6 +220,11 @@ def infer_cases(
             engine.count("dispatch_tasks", len(tasks))
             for (lo, hi), block_norm in zip(blocks, engine.backend.run_batch(tasks)):
                 state.log_norm[lo:hi] = block_norm
+        if hooks is not None:
+            hooks.on_schedule(backend=kernels_name,
+                              messages=spec.num_messages,
+                              seconds=time.perf_counter() - schedule_start,
+                              arena_bytes=plan.arena_bytes, cases=n)
 
         if arena is not None:
             nc = tree.num_cliques

@@ -42,10 +42,12 @@ Backends are stateless singletons; select one with :func:`get_kernels`.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from repro.errors import BackendError, EvidenceError
+from repro.obs.trace import current_kernel_hooks
 
 #: per destination variable: (stride in src domain, cardinality, stride in dst)
 StrideTriples = tuple[tuple[int, int, int], ...]
@@ -328,7 +330,7 @@ def get_kernels(name: str) -> KernelBackend:
 
 
 def run_message_schedule(plan, state, backend: KernelBackend,
-                         map_limit: int | None = None) -> int:
+                         map_limit: int | None = None, hooks=None) -> int:
     """Full two-phase calibration of ``state`` via ``backend``.
 
     The single-case execution loop shared by the sequential engine: walks
@@ -336,16 +338,35 @@ def run_message_schedule(plan, state, backend: KernelBackend,
     constants in ``state.log_norm``) then its distribute layers (constants
     dropped), one :meth:`KernelBackend.message` per edge per phase.
     Returns the number of messages executed.
+
+    ``hooks`` (or, when absent, the thread's recorder installed by
+    :func:`repro.obs.trace.install_kernel_hooks`) receives per-message
+    timings plus an end-of-run summary (backend name, message count,
+    arena bytes) — how a sampled request's trace sees inside the kernel
+    layer.  With no recorder active the loop is untouched: one
+    thread-local read per call.
     """
+    if hooks is None:
+        hooks = current_kernel_hooks()
     spec = plan.spec
     cliques = [p.values for p in state.clique_pot]
     seps = [p.values for p in state.sep_pot]
     messages = 0
     log_norm = 0.0
+    send = backend.message
+    timer = time.perf_counter
+    run_start = timer() if hooks is not None else 0.0
+    if hooks is not None:
+        def send(src, dst, sep, edge, upward, maps,  # noqa: F811
+                 _send=backend.message):
+            t0 = timer()
+            out = _send(src, dst, sep, edge, upward, maps)
+            hooks.on_message(upward, timer() - t0)
+            return out
+
     if backend.wants_maps:
         # Map-consuming backends run the pre-compiled sequence: maps
         # prefetched, zero per-message plan lookups.
-        send = backend.message
         for upward, src, dst, sep_id, edge, m_marg, m_abs in \
                 plan.compiled_messages(limit=map_limit):
             log_total = send(cliques[src], cliques[dst], seps[sep_id],
@@ -358,15 +379,18 @@ def run_message_schedule(plan, state, backend: KernelBackend,
         for layer in spec.up_layers:
             for cid in layer:
                 edge = spec.edges[cid]
-                log_norm += backend.message(cliques[cid], cliques[edge.parent],
-                                            seps[edge.sep_id], edge, True,
-                                            no_maps)
+                log_norm += send(cliques[cid], cliques[edge.parent],
+                                 seps[edge.sep_id], edge, True, no_maps)
                 messages += 1
         for layer in spec.down_layers:
             for cid in layer:
                 edge = spec.edges[cid]
-                backend.message(cliques[edge.parent], cliques[cid],
-                                seps[edge.sep_id], edge, False, no_maps)
+                send(cliques[edge.parent], cliques[cid],
+                     seps[edge.sep_id], edge, False, no_maps)
                 messages += 1
     state.log_norm += log_norm
+    if hooks is not None:
+        hooks.on_schedule(backend=backend.name, messages=messages,
+                          seconds=timer() - run_start,
+                          arena_bytes=getattr(plan, "arena_bytes", None))
     return messages

@@ -1,0 +1,32 @@
+"""Observability: request tracing, stage profiling, metrics exposition.
+
+The decomposition instrument for the serving stack (see
+:mod:`repro.obs.trace` for the span/sampling design and
+:mod:`repro.obs.prometheus` for the exposition format).  Wire surface:
+the server's ``metrics`` / ``slow_queries`` / ``trace_dump`` ops and the
+``fastbni trace`` / ``serve --trace-*`` CLI knobs.
+"""
+
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (
+    DEFAULT_SLOW_THRESHOLD_MS,
+    ScheduleRecorder,
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    current_kernel_hooks,
+    install_kernel_hooks,
+)
+
+__all__ = [
+    "DEFAULT_SLOW_THRESHOLD_MS",
+    "ScheduleRecorder",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace",
+    "current_kernel_hooks",
+    "install_kernel_hooks",
+    "render_prometheus",
+]

@@ -48,6 +48,8 @@ from dataclasses import dataclass, field, replace
 from repro.approx.engine import ApproxInferenceResult
 from repro.errors import EvidenceError, QueryError
 from repro.jt.engine import InferenceResult
+from repro.obs.trace import (ScheduleRecorder, Span, TraceContext,
+                             install_kernel_hooks)
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelRegistry
 
@@ -67,15 +69,23 @@ class QueryRequest:
     #: Engine routing override: ``"exact"``, ``"approx"``, ``"auto"`` or
     #: ``None`` (= the registry's default policy).
     engine: str | None = None
+    #: Span recorder for a sampled request (:mod:`repro.obs`); ``None``
+    #: on the unsampled hot path.  Excluded from equality/repr — two
+    #: requests asking the same question are the same query.
+    trace: TraceContext | None = field(default=None, compare=False,
+                                       repr=False)
 
 
 class _Pending:
-    __slots__ = ("request", "future", "enqueued")
+    __slots__ = ("request", "future", "enqueued", "queue_span")
 
     def __init__(self, request: QueryRequest, future: asyncio.Future) -> None:
         self.request = request
         self.future = future
         self.enqueued = time.monotonic()
+        #: Open ``queue_wait`` span for a traced request (ended when the
+        #: flush picks the batch up).
+        self.queue_span: Span | None = None
 
 
 def _project(result: InferenceResult, want: tuple[str, ...]) -> InferenceResult:
@@ -176,9 +186,17 @@ class MicroBatcher:
         """
         if self._closed:
             raise EvidenceError("micro-batcher is closed")
+        lookup_start = time.perf_counter()
         entry = await self.get_entry(network, request.engine)
+        lookup_end = time.perf_counter()
         caps = entry.capabilities
         kind = caps.kind
+        self.metrics.observe_stage("registry_lookup",
+                                   lookup_end - lookup_start)
+        if request.trace is not None:
+            request.trace.record("registry_lookup", lookup_start, lookup_end,
+                                 engine=kind,
+                                 compiled_from_cache=entry.from_cache)
         self._validate(entry, request)
         if request.soft_evidence and not caps.batched_soft_evidence:
             # This engine class cannot take likelihood vectors through its
@@ -210,6 +228,8 @@ class MicroBatcher:
 
         loop = asyncio.get_running_loop()
         pending = _Pending(request, loop.create_future())
+        if request.trace is not None:
+            pending.queue_span = request.trace.start_span("queue_wait")
         key = (network, kind)
         queue = self._queues.setdefault(key, [])
         queue.append(pending)
@@ -251,6 +271,15 @@ class MicroBatcher:
                          batch: list[_Pending]) -> None:
         network, kind = key
         entry = await self.get_entry_pinned(network, kind)
+        # Queue wait ends once the flush holds its pinned entry and is
+        # about to do real work; the pinned re-lookup is part of the wait.
+        picked_up = time.monotonic()
+        fill = len(batch)
+        for pending in batch:
+            self.metrics.observe_stage(
+                "queue_wait", max(picked_up - pending.enqueued, 0.0))
+            if pending.queue_span is not None:
+                pending.request.trace.end_span(pending.queue_span, fill=fill)
         try:
             engine = entry.engine
             caps = entry.capabilities
@@ -280,6 +309,21 @@ class MicroBatcher:
             else:
                 work = lambda: engine.infer_cases(  # noqa: E731
                     cases, targets=targets)
+            # A sampled request in the batch turns on the kernel hooks:
+            # run_message_schedule / the batched calibration report
+            # per-message and per-absorption timings through a
+            # thread-local (contextvars do not cross run_in_executor),
+            # installed around the executor work only.
+            recorder = None
+            if any(p.request.trace is not None for p in batch):
+                recorder = ScheduleRecorder()
+                inner_work = work
+
+                def work(rec=recorder, run=inner_work):  # noqa: F811
+                    with install_kernel_hooks(rec):
+                        return run()
+
+            exec_start = time.perf_counter()
             try:
                 result = await loop.run_in_executor(self._executor, work)
             except EvidenceError:
@@ -294,11 +338,25 @@ class MicroBatcher:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
                 return
+            exec_end = time.perf_counter()
+            self.metrics.observe_stage("execute", exec_end - exec_start)
             self.metrics.observe_batch(len(batch))
             cold_items = []
             for i, pending in enumerate(batch):
                 case_result = result.case(i)
                 self._observe_served(kind, case_result)
+                trace = pending.request.trace
+                if trace is not None:
+                    # Recorded before the future resolves: once the
+                    # client coroutine resumes it serializes and finishes
+                    # the trace, and a late span would miss the buffer.
+                    attrs = {"fill": len(batch), "engine": kind}
+                    if recorder is not None:
+                        attrs.update(recorder.summary())
+                    if isinstance(case_result, ApproxInferenceResult):
+                        attrs["ess"] = case_result.ess
+                        attrs["num_samples"] = case_result.num_samples
+                    trace.record("execute", exec_start, exec_end, **attrs)
                 projected = _project(case_result, pending.request.targets)
                 if entry.cache is not None:
                     cold_items.append((pending.request.evidence,
@@ -332,10 +390,23 @@ class MicroBatcher:
         """
         requests = [(p.request.evidence, p.request.targets) for p in batch]
         loop = asyncio.get_running_loop()
+        lookup_start = time.perf_counter()
         outcomes = await loop.run_in_executor(
             self._executor, lambda: entry.cache.serve_cases(requests))
+        lookup_end = time.perf_counter()
+        self.metrics.observe_stage("cache_lookup", lookup_end - lookup_start)
         remaining: list[_Pending] = []
         for pending, outcome in zip(batch, outcomes):
+            trace = pending.request.trace
+            if trace is not None:
+                served = (None if outcome is None
+                          or isinstance(outcome, BaseException)
+                          else outcome.source)
+                trace.record(
+                    "cache_lookup", lookup_start, lookup_end,
+                    fill=len(batch), served=served,
+                    **({"delta_size": outcome.delta_size}
+                       if served == "delta" else {}))
             if outcome is None:
                 remaining.append(pending)
                 continue

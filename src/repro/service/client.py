@@ -142,6 +142,24 @@ class ServiceClient:
         """
         return self.call("cache_stats")
 
+    # --------------------------------------------------------- observability
+    def metrics(self) -> str:
+        """The server's metrics as Prometheus exposition text."""
+        return self.call("metrics")["text"]
+
+    def slow_queries(self) -> dict:
+        """The bounded slow-query log (slowest first) plus its threshold."""
+        return self.call("slow_queries")
+
+    def trace_dump(self) -> dict:
+        """Buffered sampled traces as a Chrome trace-event document.
+
+        ``json.dump`` the return value to a file and open it in
+        ``chrome://tracing`` or Perfetto (``fastbni trace out.json``
+        does exactly that).
+        """
+        return self.call("trace_dump")
+
     # -------------------------------------------------------------- sessions
     def session_open(self, network: str, evidence: dict | None = None,
                      engine: str | None = None) -> dict:

@@ -34,6 +34,33 @@ def _fill_bucket(fill: int) -> str:
     return "inf"
 
 
+#: Upper edges (milliseconds) of the per-stage latency histograms —
+#: log-spaced from sub-millisecond kernel work up to the slow-query
+#: threshold's order of magnitude.
+STAGE_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                    100.0, 250.0, 500.0, 1000.0)
+
+#: Request stages the server/batcher time (`observe_stage` accepts only
+#: these, mirroring the span names in :mod:`repro.obs.trace`).
+STAGES = ("parse", "registry_lookup", "queue_wait", "cache_lookup",
+          "execute", "serialize")
+
+
+def _stage_bucket(ms: float) -> str:
+    for edge in STAGE_BUCKETS_MS:
+        if ms <= edge:
+            return f"le_{edge:g}"
+    return "inf"
+
+
+def _percentile(data: list[float], p: float) -> float:
+    """Nearest-rank percentile over already-sorted ``data`` (0 if empty)."""
+    if not data:
+        return 0.0
+    rank = max(0, min(len(data) - 1, round(p / 100.0 * (len(data) - 1))))
+    return data[rank]
+
+
 class ServiceMetrics:
     """Aggregated counters for one server (or one test harness)."""
 
@@ -83,6 +110,12 @@ class ServiceMetrics:
         self._session_updates = 0
         self._session_queries = 0
         self._session_delta_sum = 0
+        #: Per-stage latency histograms (stage → bucket-label counter),
+        #: plus count/sum so the exposition can render true Prometheus
+        #: histograms with ``_sum``/``_count`` series.
+        self._stage_count: Counter[str] = Counter()
+        self._stage_sum_s: Counter[str] = Counter()
+        self._stage_hist: dict[str, Counter[str]] = {}
 
     def reset(self) -> None:
         """Zero every counter and restart the clock (the ``stats_reset`` op).
@@ -173,14 +206,41 @@ class ServiceMetrics:
                 self._delta_size_sum += delta_size
 
     def observe_session_event(self, event: str) -> None:
-        """One session lifecycle transition: ``opened``/``closed``/``evicted``."""
+        """One session lifecycle transition: ``opened``/``closed``/``evicted``.
+
+        Unknown event names raise — a typo'd caller must fail loudly, not
+        silently inflate the eviction counter (and with it drive the
+        ``sessions.open`` gauge negative).
+        """
         with self._lock:
             if event == "opened":
                 self._sessions_opened += 1
             elif event == "closed":
                 self._sessions_closed += 1
-            else:
+            elif event == "evicted":
                 self._sessions_evicted += 1
+            else:
+                raise ValueError(
+                    f"unknown session event {event!r} "
+                    "(expected 'opened', 'closed', or 'evicted')")
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """One timed request stage (``parse``/``queue_wait``/``execute``/...).
+
+        Feeds the per-stage latency histograms in :meth:`snapshot` and the
+        Prometheus exposition — the always-on aggregate complement to the
+        sampled span traces.
+        """
+        if stage not in STAGES:
+            raise ValueError(
+                f"unknown stage {stage!r} (expected one of {STAGES})")
+        with self._lock:
+            self._stage_count[stage] += 1
+            self._stage_sum_s[stage] += seconds
+            hist = self._stage_hist.get(stage)
+            if hist is None:
+                hist = self._stage_hist[stage] = Counter()
+            hist[_stage_bucket(seconds * 1e3)] += 1
 
     def observe_session_update(self, delta_size: int) -> None:
         """One ``session_update`` applied ``delta_size`` evidence edits."""
@@ -204,14 +264,21 @@ class ServiceMetrics:
         while self._timestamps and self._timestamps[0] < cutoff:
             self._timestamps.popleft()
 
+    def uptime_s(self) -> float:
+        """Seconds since construction or the last :meth:`reset`.
+
+        The single uptime source: both the ``health`` and ``stats``
+        endpoints report this, so they cannot disagree after a
+        ``stats_reset``.
+        """
+        with self._lock:
+            return max(self._clock() - self._start, 1e-9)
+
     def percentile(self, p: float) -> float:
         """The p-th latency percentile (seconds) over the reservoir; 0 if empty."""
         with self._lock:
             data = sorted(self._latencies)
-        if not data:
-            return 0.0
-        rank = max(0, min(len(data) - 1, round(p / 100.0 * (len(data) - 1))))
-        return data[rank]
+        return _percentile(data, p)
 
     def mean_batch_fill(self) -> float:
         """Cases per vectorised flush; > 1 means coalescing is happening."""
@@ -226,13 +293,6 @@ class ServiceMetrics:
             uptime = max(now - self._start, 1e-9)
             window = min(self._rate_window_s, uptime)
             data = sorted(self._latencies)
-
-            def pct(p: float) -> float:
-                if not data:
-                    return 0.0
-                rank = max(0, min(len(data) - 1, round(p / 100.0 * (len(data) - 1))))
-                return data[rank]
-
             lookups = self._cache_hits + self._cache_misses
             return {
                 "uptime_s": uptime,
@@ -247,9 +307,9 @@ class ServiceMetrics:
                 },
                 "latency_ms": {
                     "count": len(data),
-                    "p50": pct(50) * 1e3,
-                    "p90": pct(90) * 1e3,
-                    "p99": pct(99) * 1e3,
+                    "p50": _percentile(data, 50) * 1e3,
+                    "p90": _percentile(data, 90) * 1e3,
+                    "p99": _percentile(data, 99) * 1e3,
                     "mean": (sum(data) / len(data) * 1e3) if data else 0.0,
                     "max": (data[-1] * 1e3) if data else 0.0,
                 },
@@ -293,5 +353,15 @@ class ServiceMetrics:
                     "mean_delta_size": (self._session_delta_sum
                                         / self._session_updates
                                         if self._session_updates else 0.0),
+                },
+                "stages": {
+                    stage: {
+                        "count": self._stage_count[stage],
+                        "sum_ms": self._stage_sum_s[stage] * 1e3,
+                        "mean_ms": (self._stage_sum_s[stage]
+                                    / self._stage_count[stage] * 1e3),
+                        "buckets": dict(self._stage_hist.get(stage, {})),
+                    }
+                    for stage in STAGES if self._stage_count[stage]
                 },
             }

@@ -31,8 +31,19 @@ explanation; exact engine only), ``info`` (network + tree/planner
 statistics), ``session_open``/``session_update``/``session_query``/
 ``session_close`` (streaming evidence sessions), ``health``, ``stats``
 (serving metrics snapshot), ``stats_reset`` (zero the counters, for
-clean benchmark windows) and ``cache_stats`` (per-model
-incremental-cache counters).
+clean benchmark windows), ``cache_stats`` (per-model incremental-cache
+counters), ``metrics`` (Prometheus text exposition of the full stats
+snapshot), ``slow_queries`` (the bounded top-K slow-query log) and
+``trace_dump`` (buffered sampled traces as Chrome trace-event JSON —
+``fastbni trace out.json`` writes it to a file for Perfetto).
+
+Tracing (:mod:`repro.obs`): with ``trace_sample_rate > 0`` every
+``round(1/rate)``-th request carries a span tree through
+``parse → registry lookup → queue wait → cache pre-pass → execute →
+serialize`` and down into the kernel layer; the slow-query log runs for
+every request regardless of sampling.  ``trace_sample_rate=0`` plus
+``trace_slow_log=0`` strips even the slow-log bookkeeping (the
+benchmark-baseline configuration).
 
 Streaming sessions give evolving-evidence clients (one finding at a
 time, posteriors after each) a persistent per-session incremental state
@@ -73,6 +84,9 @@ from repro.errors import (EvidenceError, ParseError, QueryError, ReproError,
                           SessionError)
 from repro.exec.engine_api import CAPABILITIES_BY_KIND
 from repro.jt.evidence_soft import split_evidence
+from repro.obs import (DEFAULT_SLOW_THRESHOLD_MS, Tracer, chrome_trace,
+                       render_prometheus)
+from repro.obs.trace import DEFAULT_MAX_TRACES, DEFAULT_SLOW_LOG
 from repro.service.batcher import (DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT_MS,
                                    MicroBatcher, QueryRequest)
 from repro.service.metrics import ServiceMetrics
@@ -177,10 +191,22 @@ class InferenceServer:
                  max_sessions: int = DEFAULT_MAX_SESSIONS,
                  session_ttl_s: float = DEFAULT_IDLE_TTL_S,
                  session_max_bytes: int = DEFAULT_SESSION_BYTES,
+                 tracer: Tracer | None = None,
+                 trace_sample_rate: float = 0.0,
+                 trace_buffer: int = DEFAULT_MAX_TRACES,
+                 trace_slow_ms: float = DEFAULT_SLOW_THRESHOLD_MS,
+                 trace_slow_log: int = DEFAULT_SLOW_LOG,
                  **registry_options) -> None:
         self.host = host
         self.port = port
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: ``tracer`` adopts an external tracer; otherwise one is built
+        #: from the ``trace_*`` knobs.  With ``trace_sample_rate=0`` and
+        #: ``trace_slow_log=0`` the tracer never allocates a context or
+        #: takes a lock — the benchmark-baseline configuration.
+        self.tracer = tracer if tracer is not None else Tracer(
+            trace_sample_rate, max_traces=trace_buffer,
+            slow_threshold_ms=trace_slow_ms, slow_log=trace_slow_log)
         self._owns_registry = registry is None
         self.registry = (registry if registry is not None
                          else ModelRegistry(metrics=self.metrics,
@@ -200,7 +226,6 @@ class InferenceServer:
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
-        self._started = time.monotonic()
 
     # ------------------------------------------------------------- lifecycle
     def preload(self, names) -> None:
@@ -213,7 +238,6 @@ class InferenceServer:
             self._handle_connection, self.host, self.port,
             limit=_STREAM_LIMIT)
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started = time.monotonic()
         return self
 
     async def serve_forever(self) -> None:
@@ -283,23 +307,30 @@ class InferenceServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _write(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
-                     payload: dict) -> None:
+    @staticmethod
+    def _encode(payload: dict) -> bytes:
+        """Serialize a response payload to one wire line.
+
+        Last line of defence: serialization runs *after* the dispatch
+        error handling, so a payload ``json.dumps`` rejects (an
+        unconverted type, a non-finite float that slipped past
+        ``_jsonable``) would otherwise drop the response and leave the
+        client waiting forever.  Answer the request id with an
+        InternalError instead.
+        """
         try:
-            data = json.dumps(payload, allow_nan=False).encode() + b"\n"
+            return json.dumps(payload, allow_nan=False).encode() + b"\n"
         except (TypeError, ValueError) as exc:
-            # Last line of defence: serialization runs *after*
-            # _handle_line's error handling, so a payload json.dumps
-            # rejects (an unconverted type, a non-finite float that
-            # slipped past _jsonable) would otherwise drop the response
-            # and leave the client waiting forever.  Answer the request
-            # id with an InternalError instead.
-            data = json.dumps({
+            return json.dumps({
                 "id": payload.get("id"), "ok": False,
                 "error": {"type": "InternalError",
                           "message": ("response not serializable: "
                                       f"{type(exc).__name__}: {exc}")},
             }, allow_nan=False).encode() + b"\n"
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                    data: bytes) -> None:
         async with lock:
             try:
                 writer.write(data)
@@ -307,22 +338,38 @@ class InferenceServer:
             except (ConnectionError, OSError):
                 pass  # client went away; nothing to deliver the result to
 
+    async def _write(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                     payload: dict) -> None:
+        await self._send(writer, lock, self._encode(payload))
+
     async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
                            lock: asyncio.Lock) -> None:
         request_id = None
         op = "invalid"
+        network = None
         start = time.monotonic()
+        # Sampling decision up front (the op is not known until the line
+        # parses; the root span's op attribute is stamped in finish()).
+        ctx = self.tracer.maybe_trace()
         ok = False
         try:
+            parse_start = time.perf_counter()
             try:
                 request = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ParseError(f"request is not valid JSON: {exc}") from None
             if not isinstance(request, dict):
                 raise ParseError("request must be a JSON object")
+            parse_end = time.perf_counter()
+            self.metrics.observe_stage("parse", parse_end - parse_start)
+            if ctx is not None:
+                ctx.record("parse", parse_start, parse_end,
+                           request_bytes=len(line))
             request_id = request.get("id")
             op = request.get("op", "query")
-            result = await self._dispatch(op, request)
+            raw_network = request.get("network")
+            network = raw_network if isinstance(raw_network, str) else None
+            result = await self._dispatch(op, request, trace=ctx)
             ok = True
             payload = {"id": request_id, "ok": True, "result": _jsonable(result)}
         except ReproError as exc:
@@ -337,11 +384,21 @@ class InferenceServer:
             payload = {"id": request_id, "ok": False,
                        "error": {"type": "InternalError",
                                  "message": f"{type(exc).__name__}: {exc}"}}
-        self.metrics.observe_request(op, time.monotonic() - start, ok=ok)
-        await self._write(writer, lock, payload)
+        ser_start = time.perf_counter()
+        data = self._encode(payload)
+        ser_end = time.perf_counter()
+        self.metrics.observe_stage("serialize", ser_end - ser_start)
+        if ctx is not None:
+            ctx.record("serialize", ser_start, ser_end,
+                       response_bytes=len(data))
+        latency = time.monotonic() - start
+        self.metrics.observe_request(op, latency, ok=ok)
+        self.tracer.finish(ctx, op=op, network=network,
+                           latency_s=latency, ok=ok)
+        await self._send(writer, lock, data)
 
     # --------------------------------------------------------------- dispatch
-    async def _dispatch(self, op: str, request: dict) -> dict:
+    async def _dispatch(self, op: str, request: dict, trace=None) -> dict:
         if op == "health":
             return self._op_health()
         if op == "stats":
@@ -350,17 +407,23 @@ class InferenceServer:
             return self._op_stats_reset()
         if op == "cache_stats":
             return self._op_cache_stats()
+        if op == "metrics":
+            return self._op_metrics()
+        if op == "slow_queries":
+            return self._op_slow_queries()
+        if op == "trace_dump":
+            return self._op_trace_dump()
         if op == "session_update":
-            return await self._op_session_update(request)
+            return await self._op_session_update(request, trace)
         if op == "session_query":
-            return await self._op_session_query(request)
+            return await self._op_session_query(request, trace)
         if op == "session_close":
             return await self._op_session_close(request)
         network = request.get("network")
         if not isinstance(network, str) or not network:
             raise QueryError(f"op {op!r} requires a 'network' string field")
         if op == "query":
-            return await self._op_query(network, request)
+            return await self._op_query(network, request, trace)
         if op == "query_batch":
             return await self._op_query_batch(network, request)
         if op == "mpe":
@@ -368,14 +431,16 @@ class InferenceServer:
         if op == "info":
             return await self._op_info(network, request)
         if op == "session_open":
-            return await self._op_session_open(network, request)
+            return await self._op_session_open(network, request, trace)
         raise QueryError(
             f"unknown op {op!r}; expected one of query, query_batch, mpe, "
             f"info, session_open, session_update, session_query, "
-            f"session_close, health, stats, stats_reset, cache_stats"
+            f"session_close, health, stats, stats_reset, cache_stats, "
+            f"metrics, slow_queries, trace_dump"
         )
 
-    async def _op_query(self, network: str, request: dict) -> dict:
+    async def _op_query(self, network: str, request: dict,
+                        trace=None) -> dict:
         hard, soft = split_evidence(
             _require_mapping(request.get("evidence"), "evidence"))
         explicit_soft = _require_mapping(request.get("soft_evidence"),
@@ -384,7 +449,8 @@ class InferenceServer:
         targets = _parse_targets(request.get("targets"))
         engine = _parse_engine(request.get("engine"))
         query = QueryRequest(evidence=hard, targets=targets,
-                             soft_evidence=soft or None, engine=engine)
+                             soft_evidence=soft or None, engine=engine,
+                             trace=trace)
         result = await self.batcher.submit(network, query)
         approx = isinstance(result, ApproxInferenceResult)
         # The cache pre-pass stamps its serving tier into result.meta;
@@ -553,14 +619,15 @@ class InferenceServer:
             return tuple(value)
         raise QueryError("retract must be a list of variable names")
 
-    async def _op_session_open(self, network: str, request: dict) -> dict:
+    async def _op_session_open(self, network: str, request: dict,
+                               trace=None) -> dict:
         evidence = _require_mapping(request.get("evidence"), "evidence")
         engine = _parse_engine(request.get("engine"))
         return await self._run_session(
             lambda: self.sessions.open(network, evidence=evidence,
-                                       engine=engine))
+                                       engine=engine, trace=trace))
 
-    async def _op_session_update(self, request: dict) -> dict:
+    async def _op_session_update(self, request: dict, trace=None) -> dict:
         sid = self._session_id(request)
         evidence = _require_mapping(request.get("evidence"), "evidence")
         retract = self._parse_retract(request.get("retract"))
@@ -575,18 +642,20 @@ class InferenceServer:
                     lambda: self.sessions.update(sid, evidence=evidence,
                                                  retract=retract,
                                                  replace=replace,
-                                                 targets=targets))
+                                                 targets=targets,
+                                                 trace=trace))
             except SessionError:
                 self._session_locks.pop(sid, None)
                 raise
 
-    async def _op_session_query(self, request: dict) -> dict:
+    async def _op_session_query(self, request: dict, trace=None) -> dict:
         sid = self._session_id(request)
         targets = _parse_targets(request.get("targets"))
         async with self._session_lock(sid):
             try:
                 return await self._run_session(
-                    lambda: self.sessions.query(sid, targets=targets))
+                    lambda: self.sessions.query(sid, targets=targets,
+                                                trace=trace))
             except SessionError:
                 self._session_locks.pop(sid, None)
                 raise
@@ -603,7 +672,9 @@ class InferenceServer:
     def _op_health(self) -> dict:
         return {
             "status": "ok",
-            "uptime_s": time.monotonic() - self._started,
+            # Same clock as stats.uptime_s (the metrics clock), so the
+            # two endpoints cannot disagree after a stats_reset.
+            "uptime_s": self.metrics.uptime_s(),
             "models": list(self.registry.loaded()),
         }
 
@@ -615,7 +686,36 @@ class InferenceServer:
             "max_wait_ms": self.batcher.max_wait_ms,
         }
         snapshot["sessions"]["table"] = self.sessions.stats()
+        snapshot["tracing"] = self.tracer.stats()
         return snapshot
+
+    def _op_metrics(self) -> dict:
+        """The full stats snapshot rendered as Prometheus exposition text.
+
+        Wrapped in the normal JSON envelope (this is a TCP op, not HTTP):
+        the ``text`` field is what a scraper sidecar would serve verbatim
+        at ``/metrics``; ``fastbni client --op metrics`` prints it raw.
+        """
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prometheus(self._op_stats()),
+        }
+
+    def _op_slow_queries(self) -> dict:
+        """The bounded top-K slow-query log, slowest first."""
+        entries = self.tracer.slow_queries()
+        return {
+            "threshold_ms": self.tracer.slow_threshold_ms,
+            "count": len(entries),
+            "slow_queries": entries,
+        }
+
+    def _op_trace_dump(self) -> dict:
+        """Buffered sampled traces as a Chrome trace-event document."""
+        traces = self.tracer.traces()
+        dump = chrome_trace(traces)
+        dump["traceCount"] = len(traces)
+        return dump
 
     def _op_stats_reset(self) -> dict:
         """Zero the metrics counters (registry residency is untouched)."""

@@ -222,9 +222,18 @@ class SessionManager:
                 self._enforce_locked(keep=session.id)
         self.registry.enforce_budget()
 
+    @staticmethod
+    def _recomputed(engine) -> int:
+        """Messages revalidated so far (the delta path's work counter)."""
+        counters = getattr(engine, "counters", None)
+        if not counters:
+            return 0
+        return (counters.get("up_recomputed", 0)
+                + counters.get("down_recomputed", 0))
+
     # ------------------------------------------------------------ operations
     def open(self, network: str, evidence: dict | None = None,
-             engine: str | None = None) -> dict:
+             engine: str | None = None, trace=None) -> dict:
         """Open a session on ``network`` (optionally with initial evidence).
 
         The per-session state clones from the model's cache-shared base
@@ -232,7 +241,11 @@ class SessionManager:
         and no propagation.  Models routed to a sampling engine are
         rejected — sessions are delta recalibration, which needs the
         junction tree (pass ``engine="exact"`` to force a compile).
+        ``trace`` (a sampled request's :class:`~repro.obs.TraceContext`)
+        gets a ``session_open`` span covering the clone.
         """
+        span = (trace.start_span("session_open", network=network)
+                if trace is not None else None)
         with self._lock:
             if self._closed:
                 raise SessionError("session manager is shut down",
@@ -271,11 +284,14 @@ class SessionManager:
         self.registry.enforce_budget()
         if self.metrics is not None:
             self.metrics.observe_session_event("opened")
+        if span is not None:
+            trace.end_span(span, evidence_vars=len(state.evidence),
+                           session_bytes=session.bytes)
         return session.describe()
 
     def update(self, session_id: str, evidence: dict | None = None,
                retract=(), replace: bool = False,
-               targets: tuple[str, ...] | None = None) -> dict:
+               targets: tuple[str, ...] | None = None, trace=None) -> dict:
         """Apply one evidence edit to a session (the streaming hot path).
 
         By default ``evidence`` *merges* into the session's current
@@ -289,6 +305,9 @@ class SessionManager:
         session = self._checkout(session_id)
         with session.lock:
             engine = session.engine
+            span = (trace.start_span("session_update")
+                    if trace is not None else None)
+            recomputed_before = self._recomputed(engine)
             if replace:
                 new_evidence = dict(evidence or {})
             else:
@@ -316,6 +335,13 @@ class SessionManager:
                 payload["posteriors"] = engine.posteriors(tuple(targets))
                 payload["log_evidence"] = engine.log_evidence()
                 session.queries += 1
+            if span is not None:
+                trace.end_span(
+                    span, delta_size=delta.size,
+                    dirty_cliques=len(delta.dirty_cliques),
+                    revalidated_messages=(self._recomputed(engine)
+                                          - recomputed_before),
+                    evidence_vars=len(engine.evidence))
         if self.metrics is not None:
             self.metrics.observe_session_update(delta.size)
             if targets is not None:
@@ -324,7 +350,7 @@ class SessionManager:
         return payload
 
     def query(self, session_id: str,
-              targets: tuple[str, ...] = ()) -> dict:
+              targets: tuple[str, ...] = (), trace=None) -> dict:
         """Read posteriors + ``log P(e)`` from a session's current state.
 
         Revalidates only the messages the targets need (lazy delta
@@ -335,6 +361,9 @@ class SessionManager:
         session = self._checkout(session_id)
         with session.lock:
             engine = session.engine
+            span = (trace.start_span("session_query")
+                    if trace is not None else None)
+            recomputed_before = self._recomputed(engine)
             payload = {
                 "session": session.id,
                 "posteriors": engine.posteriors(tuple(targets)),
@@ -343,6 +372,12 @@ class SessionManager:
                 "served_by": "session",
             }
             session.queries += 1
+            if span is not None:
+                trace.end_span(
+                    span,
+                    revalidated_messages=(self._recomputed(engine)
+                                          - recomputed_before),
+                    evidence_vars=len(engine.evidence))
         if self.metrics is not None:
             self.metrics.observe_session_query()
         self._account(session)

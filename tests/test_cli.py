@@ -14,7 +14,8 @@ class TestParser:
         assert set(sub.choices) == {
             "table1", "scaling", "granularity", "root", "primitives",
             "overhead", "heuristics", "frontier", "incremental", "execbench",
-            "sessions", "info", "query", "serve", "client",
+            "sessions", "obsbench", "info", "query", "serve", "client",
+            "trace",
         }
 
     def test_requires_subcommand(self):

@@ -1,0 +1,204 @@
+"""ServiceMetrics under concurrency: observers hammering from many
+threads while snapshot()/reset() run must lose no updates and never
+expose inconsistent state (negative open-session counts, histogram
+totals that disagree with the batch counters)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import ServiceMetrics
+from repro.service.metrics import STAGES
+
+
+def _hammer(threads: int, per_thread: int, work, during=None):
+    """Run ``work(thread_idx, i)`` per_thread times on each thread; run
+    ``during()`` repeatedly from the main thread while they race."""
+    barrier = threading.Barrier(threads + 1)
+
+    def body(idx: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            work(idx, i)
+
+    workers = [threading.Thread(target=body, args=(idx,))
+               for idx in range(threads)]
+    for t in workers:
+        t.start()
+    barrier.wait()
+    while any(t.is_alive() for t in workers):
+        if during is not None:
+            during()
+    for t in workers:
+        t.join()
+
+
+class TestConcurrentObservers:
+    THREADS = 8
+    PER_THREAD = 400
+
+    def test_no_lost_request_updates_during_snapshots(self):
+        metrics = ServiceMetrics()
+        ops = ("query", "mpe", "stats")
+
+        def work(idx: int, i: int) -> None:
+            metrics.observe_request(ops[i % len(ops)], 0.001,
+                                    ok=i % 7 != 0)
+
+        snapshots = []
+        _hammer(self.THREADS, self.PER_THREAD, work,
+                during=lambda: snapshots.append(metrics.snapshot()))
+
+        total = self.THREADS * self.PER_THREAD
+        final = metrics.snapshot()
+        assert final["requests"]["total"] == total
+        assert sum(final["requests"]["by_op"].values()) == total
+        errors = sum(1 for i in range(self.PER_THREAD) if i % 7 == 0)
+        assert final["requests"]["errors"] == errors * self.THREADS
+        # Mid-race snapshots must be monotone and self-consistent.
+        last = 0
+        for snap in snapshots:
+            assert snap["requests"]["total"] >= last
+            assert sum(snap["requests"]["by_op"].values()) == \
+                snap["requests"]["total"]
+            last = snap["requests"]["total"]
+
+    def test_batch_histogram_total_matches_batch_count(self):
+        metrics = ServiceMetrics()
+        fills = (1, 3, 8, 17, 32)
+
+        def work(idx: int, i: int) -> None:
+            metrics.observe_batch(fills[i % len(fills)])
+
+        def during() -> None:
+            snap = metrics.snapshot()["batches"]
+            assert sum(snap["fill_hist"].values()) == snap["count"]
+
+        _hammer(self.THREADS, self.PER_THREAD, work, during=during)
+        total = self.THREADS * self.PER_THREAD
+        batches = metrics.snapshot()["batches"]
+        assert batches["count"] == total
+        assert sum(batches["fill_hist"].values()) == total
+        per_thread_cases = sum(
+            fills[i % len(fills)] for i in range(self.PER_THREAD))
+        assert batches["cases"] == per_thread_cases * self.THREADS
+        assert batches["max_fill"] == max(fills)
+
+    def test_stage_histogram_totals_match_counts(self):
+        metrics = ServiceMetrics()
+        seconds = (1e-5, 2e-4, 3e-3, 0.04, 0.5, 2.0)
+
+        def work(idx: int, i: int) -> None:
+            metrics.observe_stage(STAGES[i % len(STAGES)],
+                                  seconds[i % len(seconds)])
+
+        def during() -> None:
+            for stage in metrics.snapshot()["stages"].values():
+                assert sum(stage["buckets"].values()) == stage["count"]
+
+        _hammer(self.THREADS, self.PER_THREAD, work, during=during)
+        stages = metrics.snapshot()["stages"]
+        assert sum(s["count"] for s in stages.values()) == \
+            self.THREADS * self.PER_THREAD
+        for stage in stages.values():
+            assert sum(stage["buckets"].values()) == stage["count"]
+            assert stage["sum_ms"] > 0
+
+    def test_session_gauge_never_negative_under_races(self):
+        metrics = ServiceMetrics()
+        negatives = []
+
+        def work(idx: int, i: int) -> None:
+            metrics.observe_session_event("opened")
+            metrics.observe_session_update(delta_size=2)
+            metrics.observe_session_query()
+            metrics.observe_session_event("evicted" if i % 5 == 0
+                                          else "closed")
+
+        def during() -> None:
+            open_now = metrics.snapshot()["sessions"]["open"]
+            if open_now < 0:
+                negatives.append(open_now)
+
+        _hammer(self.THREADS, self.PER_THREAD, work, during=during)
+        assert negatives == []
+        sessions = metrics.snapshot()["sessions"]
+        total = self.THREADS * self.PER_THREAD
+        assert sessions["opened"] == total
+        assert sessions["closed"] + sessions["evicted"] == total
+        assert sessions["open"] == 0
+        assert sessions["updates"] == sessions["queries"] == total
+        assert sessions["mean_delta_size"] == pytest.approx(2.0)
+
+    def test_reset_during_traffic_keeps_counters_consistent(self):
+        metrics = ServiceMetrics()
+
+        def work(idx: int, i: int) -> None:
+            metrics.observe_request("query", 0.002)
+            metrics.observe_cache(hit=i % 2 == 0)
+
+        def during() -> None:
+            metrics.reset()
+            snap = metrics.snapshot()
+            assert snap["requests"]["total"] >= 0
+            assert sum(snap["requests"]["by_op"].values()) == \
+                snap["requests"]["total"]
+            cache = snap["model_cache"]
+            assert 0.0 <= cache["hit_rate"] <= 1.0
+
+        _hammer(self.THREADS, self.PER_THREAD, work, during=during)
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap["requests"]["total"] == 0
+        assert snap["latency_ms"]["count"] == 0
+        assert snap["stages"] == {}
+
+
+class TestValidation:
+    def test_unknown_session_event_rejected(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(ValueError, match="unknown session event"):
+            metrics.observe_session_event("open")
+        with pytest.raises(ValueError, match="unknown session event"):
+            metrics.observe_session_event("")
+        # Nothing was recorded by the failed calls.
+        assert metrics.snapshot()["sessions"]["opened"] == 0
+
+    def test_unknown_stage_rejected(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(ValueError, match="unknown stage"):
+            metrics.observe_stage("network_io", 0.001)
+        assert metrics.snapshot()["stages"] == {}
+
+    def test_all_declared_stages_accepted(self):
+        metrics = ServiceMetrics()
+        for stage in STAGES:
+            metrics.observe_stage(stage, 0.001)
+        assert set(metrics.snapshot()["stages"]) == set(STAGES)
+
+
+class _FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestClocks:
+    def test_uptime_advances_and_resets(self):
+        clock = _FakeClock(100.0)
+        metrics = ServiceMetrics(clock=clock)
+        clock.now = 102.5
+        assert metrics.uptime_s() == pytest.approx(2.5)
+        metrics.reset()
+        clock.now = 103.75
+        assert metrics.uptime_s() == pytest.approx(1.25)
+
+    def test_snapshot_uptime_uses_same_clock(self):
+        clock = _FakeClock(50.0)
+        metrics = ServiceMetrics(clock=clock)
+        clock.now = 53.0
+        assert metrics.snapshot()["uptime_s"] == pytest.approx(3.0)

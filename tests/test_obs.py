@@ -1,0 +1,498 @@
+"""Tests for the observability layer: tracing, hooks, exposition, wire ops."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import QueryError
+from repro.obs import (ScheduleRecorder, Tracer, chrome_trace,
+                       current_kernel_hooks, install_kernel_hooks,
+                       render_prometheus)
+from repro.obs.trace import TraceContext
+from repro.service import InferenceServer, ServiceMetrics
+from repro.service.client import ServiceClient
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------- trace spans
+class TestTraceContext:
+    def test_root_span_open_at_construction(self):
+        ctx = TraceContext(7, op="query")
+        assert ctx.root.name == "request"
+        assert ctx.root.attributes["op"] == "query"
+        assert ctx.root.end == 0.0  # still open
+        assert ctx.spans == [ctx.root]
+
+    def test_span_parenting_defaults_to_root(self):
+        ctx = TraceContext(1)
+        outer = ctx.start_span("execute")
+        inner = ctx.start_span("kernel", parent=outer)
+        ctx.end_span(inner)
+        ctx.end_span(outer, fill=3)
+        assert outer.parent_id == ctx.root.span_id
+        assert inner.parent_id == outer.span_id
+        assert outer.attributes["fill"] == 3
+        assert inner.end >= inner.start
+
+    def test_context_manager_and_record(self):
+        ctx = TraceContext(1)
+        with ctx.span("parse", request_bytes=42) as span:
+            pass
+        assert span.end > 0
+        assert span.attributes["request_bytes"] == 42
+        shared = ctx.record("cache_lookup", 1.0, 1.5, served="memo")
+        assert shared.duration_s() == pytest.approx(0.5)
+        assert shared.attributes["served"] == "memo"
+
+    def test_stage_total_and_to_dict(self):
+        ctx = TraceContext(9)
+        ctx.record("queue_wait", 0.0, 0.25)
+        ctx.record("execute", 0.25, 1.0)
+        assert ctx.stage_total_s(("queue_wait", "execute")) == pytest.approx(1.0)
+        d = ctx.to_dict()
+        assert d["trace_id"] == 9
+        assert [s["name"] for s in d["spans"]] == ["request", "queue_wait",
+                                                   "execute"]
+        assert d["spans"][1]["duration_ms"] == pytest.approx(250.0)
+
+
+# -------------------------------------------------------------------- tracer
+class TestTracer:
+    def test_rate_validation(self):
+        with pytest.raises(QueryError, match="sample rate"):
+            Tracer(1.5)
+        with pytest.raises(QueryError, match="sample rate"):
+            Tracer(-0.1)
+
+    def test_rate_zero_never_allocates(self):
+        tracer = Tracer(0.0)
+        assert not tracer.enabled
+        assert all(tracer.maybe_trace() is None for _ in range(50))
+        assert tracer.stats()["requests_seen"] == 0
+
+    def test_deterministic_every_nth_sampling(self):
+        tracer = Tracer(0.25)  # period 4
+        picks = [tracer.maybe_trace() is not None for _ in range(12)]
+        assert picks == [False, False, False, True] * 3
+        stats = tracer.stats()
+        assert stats["requests_seen"] == 12
+        assert stats["traces_sampled"] == 3
+
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(1.0)
+        assert all(tracer.maybe_trace() is not None for _ in range(5))
+
+    def test_trace_buffer_is_bounded(self):
+        tracer = Tracer(1.0, max_traces=4)
+        for i in range(10):
+            ctx = tracer.maybe_trace()
+            tracer.finish(ctx, op="query", latency_s=0.001)
+        traces = tracer.traces()
+        assert len(traces) == 4
+        assert traces[-1]["trace_id"] == 10  # most recent kept
+
+    def test_slow_log_keeps_top_k_over_threshold(self):
+        tracer = Tracer(0.0, slow_log=4, slow_threshold_ms=10.0)
+        for ms in (5, 30, 12, 80, 50, 9, 20, 70):
+            tracer.finish(None, op="query", latency_s=ms / 1e3,
+                          network="asia")
+        entries = tracer.slow_queries()
+        assert [round(e["latency_ms"]) for e in entries] == [80, 70, 50, 30]
+        assert entries[0]["network"] == "asia"
+        assert entries[0]["trace"] is None  # request was not sampled
+
+    def test_slow_log_zero_disables_bookkeeping(self):
+        tracer = Tracer(0.0, slow_log=0, slow_threshold_ms=0.0)
+        tracer.finish(None, op="query", latency_s=5.0)
+        assert tracer.slow_queries() == []
+        assert tracer.stats()["slow_entries"] == 0
+
+    def test_slow_entry_carries_trace_when_sampled(self):
+        tracer = Tracer(1.0, slow_threshold_ms=0.0)
+        ctx = tracer.maybe_trace()
+        ctx.record("execute", 0.0, 0.1)
+        tracer.finish(ctx, op="query", latency_s=0.2)
+        (entry,) = tracer.slow_queries()
+        assert entry["trace"]["trace_id"] == ctx.trace_id
+        assert {"request", "execute"} <= {
+            s["name"] for s in entry["trace"]["spans"]}
+
+    def test_finish_stamps_root_attributes(self):
+        tracer = Tracer(1.0)
+        ctx = tracer.maybe_trace()
+        tracer.finish(ctx, op="mpe", latency_s=0.05, ok=False,
+                      network="cancer")
+        (trace,) = tracer.traces()
+        root = trace["spans"][0]
+        assert root["attributes"]["op"] == "mpe"
+        assert root["attributes"]["ok"] is False
+        assert root["attributes"]["network"] == "cancer"
+        assert root["attributes"]["latency_ms"] == pytest.approx(50.0)
+
+    def test_reset_drops_everything(self):
+        tracer = Tracer(1.0, slow_threshold_ms=0.0)
+        tracer.finish(tracer.maybe_trace(), op="query", latency_s=1.0)
+        tracer.reset()
+        stats = tracer.stats()
+        assert stats["requests_seen"] == 0
+        assert tracer.traces() == [] and tracer.slow_queries() == []
+
+
+# -------------------------------------------------------------- chrome export
+class TestChromeTrace:
+    def test_export_shape_and_rebasing(self):
+        tracer = Tracer(1.0, clock=iter([10.0, 10.1, 10.2, 10.3,
+                                         10.4, 10.5]).__next__)
+        a = tracer.maybe_trace()
+        a.record("execute", 10.05, 10.09)
+        tracer.finish(a, op="query", latency_s=0.1)
+        b = tracer.maybe_trace()
+        tracer.finish(b, op="query", latency_s=0.1)
+
+        dump = tracer.chrome_trace()
+        assert dump["displayTimeUnit"] == "ms"
+        events = dump["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        assert min(e["ts"] for e in events) == 0.0  # rebased to t0
+        assert {e["tid"] for e in events} == {a.trace_id, b.trace_id}
+        execute = next(e for e in events if e["name"] == "execute")
+        assert execute["dur"] == pytest.approx(0.04 * 1e6)
+
+    def test_empty_buffer_exports_cleanly(self):
+        assert chrome_trace([]) == {"traceEvents": [],
+                                    "displayTimeUnit": "ms"}
+
+
+# -------------------------------------------------------------- kernel hooks
+class TestKernelHooks:
+    def test_install_restores_previous(self):
+        outer, inner = ScheduleRecorder(), ScheduleRecorder()
+        assert current_kernel_hooks() is None
+        with install_kernel_hooks(outer):
+            assert current_kernel_hooks() is outer
+            with install_kernel_hooks(inner):
+                assert current_kernel_hooks() is inner
+            assert current_kernel_hooks() is outer
+        assert current_kernel_hooks() is None
+
+    def test_hooks_are_thread_local(self):
+        recorder = ScheduleRecorder()
+        seen = {}
+
+        def probe():
+            seen["other"] = current_kernel_hooks()
+
+        with install_kernel_hooks(recorder):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+
+    def test_recorder_summary_aggregates(self):
+        rec = ScheduleRecorder()
+        rec.on_message(upward=True, seconds=0.002)
+        rec.on_message(upward=False, seconds=0.001)
+        rec.on_absorb(0.0005, cliques=7)
+        rec.on_schedule(backend="fused", messages=14, seconds=0.004,
+                        arena_bytes=1024, cases=3)
+        summary = rec.summary()
+        assert summary["kernel_messages"] == 14
+        assert summary["kernel_ms"] == pytest.approx(4.0)
+        assert summary["collect_ms"] == pytest.approx(2.0)
+        assert summary["distribute_ms"] == pytest.approx(1.0)
+        assert summary["absorb_cliques"] == 7
+        assert summary["kernel_backend"] == "fused"
+        assert summary["arena_bytes"] == 1024
+        assert summary["kernel_cases"] == 3
+
+    @pytest.mark.parametrize("kernels", ["fused", "numpy"])
+    def test_run_message_schedule_reports_into_hooks(self, asia, kernels):
+        from repro.exec.kernels import get_kernels, run_message_schedule
+        from repro.exec.plan import compile_plan
+        from repro.jt.structure import compile_junction_tree
+
+        plan = compile_plan(compile_junction_tree(asia))
+        state = plan.fresh_state()
+        plan.absorb_hard_evidence(state, {"smoke": "yes"})
+        rec = ScheduleRecorder()
+        with install_kernel_hooks(rec):
+            run_message_schedule(plan, state, get_kernels(kernels))
+        assert rec.backend == kernels
+        assert rec.messages == plan.spec.num_messages
+        assert rec.collect_s > 0 and rec.distribute_s > 0
+        assert rec.schedule_s >= rec.collect_s + rec.distribute_s
+
+    def test_run_message_schedule_silent_without_hooks(self, asia):
+        from repro.exec.kernels import get_kernels, run_message_schedule
+        from repro.exec.plan import compile_plan
+        from repro.jt.structure import compile_junction_tree
+
+        plan = compile_plan(compile_junction_tree(asia))
+        state = plan.fresh_state()
+        assert current_kernel_hooks() is None
+        run_message_schedule(plan, state, get_kernels("fused"))
+        posteriors = plan.read_posteriors(state)
+        assert set(posteriors) == set(asia.variable_names)
+
+
+# ------------------------------------------------------------ prometheus text
+class TestPrometheusRender:
+    def _snapshot(self):
+        m = ServiceMetrics()
+        for ms in (1, 5, 20):
+            m.observe_request("query", ms / 1e3)
+        m.observe_request("mpe", 0.002, ok=False)
+        m.observe_batch(4)
+        m.observe_cache(hit=True)
+        m.observe_cache(hit=False)
+        m.observe_stage("parse", 0.0002)
+        m.observe_stage("execute", 0.003)
+        m.observe_stage("execute", 0.030)
+        return m.snapshot()
+
+    def test_counters_and_labels(self):
+        text = render_prometheus(self._snapshot())
+        assert "# HELP fastbni_requests_total" in text
+        assert "# TYPE fastbni_requests_total counter" in text
+        assert "fastbni_requests_total 4" in text
+        assert "fastbni_request_errors_total 1" in text
+        assert 'fastbni_requests_by_op_total{op="query"} 3' in text
+        assert 'fastbni_model_cache_lookups_total{outcome="hit"} 1' in text
+
+    def test_stage_histogram_is_cumulative_in_seconds(self):
+        text = render_prometheus(self._snapshot())
+        # execute saw 3 ms and 30 ms → cumulative: le=0.005 has 1,
+        # le=0.05 has 2, +Inf has 2.
+        assert ('fastbni_stage_latency_seconds_bucket'
+                '{stage="execute",le="0.005"} 1') in text
+        assert ('fastbni_stage_latency_seconds_bucket'
+                '{stage="execute",le="0.05"} 2') in text
+        assert ('fastbni_stage_latency_seconds_bucket'
+                '{stage="execute",le="+Inf"} 2') in text
+        assert 'fastbni_stage_latency_seconds_count{stage="execute"} 2' in text
+        sum_line = next(line for line in text.splitlines() if line.startswith(
+            'fastbni_stage_latency_seconds_sum{stage="execute"}'))
+        assert float(sum_line.split()[-1]) == pytest.approx(0.033)
+
+    def test_latency_summary_quantiles(self):
+        text = render_prometheus(self._snapshot())
+        assert 'fastbni_request_latency_seconds{quantile="0.5"}' in text
+        assert "fastbni_request_latency_seconds_count 4" in text
+
+    def test_tracing_section_is_optional(self):
+        snapshot = self._snapshot()
+        text = render_prometheus(snapshot)
+        assert "fastbni_trace_sample_rate" not in text
+        snapshot["tracing"] = {"sample_rate": 0.01, "requests_seen": 100,
+                               "traces_sampled": 1, "traces_buffered": 1,
+                               "slow_threshold_ms": 100.0, "slow_entries": 0}
+        text = render_prometheus(snapshot)
+        assert "fastbni_trace_sample_rate 0.01" in text
+        assert "fastbni_traces_sampled_total 1" in text
+
+
+# ------------------------------------------------------------- wire-level ops
+async def _pipelined(port: int, requests: list[dict]) -> list[dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    responses = []
+    for req in requests:
+        writer.write(json.dumps(req).encode() + b"\n")
+        await writer.drain()
+        responses.append(json.loads(await reader.readline()))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return responses
+
+
+class TestServerObservability:
+    def test_traced_request_covers_all_stages(self):
+        """ISSUE acceptance: a traced warm query's stage durations sum to
+        within 10% of its end-to-end latency."""
+        async def scenario():
+            # cache=False pins the engine path (an execute span on every
+            # query); generous max_wait keeps flush timing deterministic.
+            server = InferenceServer(port=0, max_batch=8, max_wait_ms=20.0,
+                                     cache=False, trace_sample_rate=1.0)
+            server.preload(["asia"])
+            await server.start()
+            try:
+                query = {"op": "query", "network": "asia",
+                         "evidence": {"smoke": "yes"}, "targets": ["lung"]}
+                # Warm twice (allocator, code paths), then measure.
+                await _pipelined(server.port, [dict(query, id=i)
+                                               for i in (1, 2)])
+                (resp,) = await _pipelined(server.port, [dict(query, id=3)])
+                traces = server.tracer.traces()
+            finally:
+                await server.stop()
+            return resp, traces
+
+        resp, traces = run(scenario())
+        assert resp["ok"]
+        trace = traces[-1]
+        names = [s["name"] for s in trace["spans"]]
+        for stage in ("request", "parse", "registry_lookup", "queue_wait",
+                      "execute", "serialize"):
+            assert stage in names, names
+        root = trace["spans"][0]
+        latency_ms = root["attributes"]["latency_ms"]
+        stage_sum = sum(s["duration_ms"] for s in trace["spans"]
+                        if s["name"] in ("queue_wait", "cache_lookup",
+                                         "execute", "serialize"))
+        assert stage_sum == pytest.approx(latency_ms, rel=0.10), (
+            f"stage sum {stage_sum:.3f} ms vs latency {latency_ms:.3f} ms")
+        execute = next(s for s in trace["spans"] if s["name"] == "execute")
+        assert execute["attributes"]["kernel_messages"] > 0
+        assert execute["attributes"]["kernel_backend"] in ("fused", "numpy")
+
+    def test_cache_served_query_records_delta_span(self):
+        async def scenario():
+            server = InferenceServer(port=0, max_wait_ms=5.0,
+                                     trace_sample_rate=1.0)
+            server.preload(["asia"])
+            await server.start()
+            try:
+                base = {"op": "query", "network": "asia",
+                        "evidence": {"smoke": "yes"}}
+                await _pipelined(server.port, [dict(base, id=1)])
+                # Same evidence again: the memo/delta tier serves it.
+                await _pipelined(server.port, [dict(base, id=2)])
+                traces = server.tracer.traces()
+            finally:
+                await server.stop()
+            return traces
+
+        traces = run(scenario())
+        lookup = next(s for s in traces[-1]["spans"]
+                      if s["name"] == "cache_lookup")
+        assert lookup["attributes"]["served"] in ("memo", "delta")
+
+    def test_metrics_slow_queries_and_trace_dump_ops(self):
+        async def scenario():
+            server = InferenceServer(port=0, max_wait_ms=5.0,
+                                     trace_sample_rate=1.0,
+                                     trace_slow_ms=0.0)
+            server.preload(["asia"])
+            await server.start()
+            try:
+                responses = await _pipelined(server.port, [
+                    {"id": 1, "op": "query", "network": "asia",
+                     "evidence": {"smoke": "yes"}},
+                    {"id": 2, "op": "stats"},
+                    {"id": 3, "op": "metrics"},
+                    {"id": 4, "op": "slow_queries"},
+                    {"id": 5, "op": "trace_dump"},
+                ])
+            finally:
+                await server.stop()
+            return responses
+
+        query, stats, metrics, slow, dump = run(scenario())
+        assert all(r["ok"] for r in (query, stats, metrics, slow, dump))
+        tracing = stats["result"]["tracing"]
+        assert tracing["sample_rate"] == 1.0
+        assert tracing["traces_sampled"] >= 1
+
+        assert metrics["result"]["content_type"].startswith("text/plain")
+        text = metrics["result"]["text"]
+        assert "fastbni_requests_total" in text
+        assert 'fastbni_stage_latency_seconds_bucket{stage="parse"' in text
+        assert "fastbni_trace_sample_rate 1" in text
+
+        slow_result = slow["result"]
+        assert slow_result["threshold_ms"] == 0.0
+        assert slow_result["count"] >= 1
+        assert slow_result["slow_queries"][0]["op"] == "query"
+
+        chrome = dump["result"]
+        assert chrome["traceCount"] >= 1
+        assert any(e["name"] == "request" for e in chrome["traceEvents"])
+
+    def test_session_ops_emit_spans(self):
+        async def scenario():
+            server = InferenceServer(port=0, max_wait_ms=5.0,
+                                     trace_sample_rate=1.0)
+            server.preload(["asia"])
+            await server.start()
+            try:
+                (opened,) = await _pipelined(server.port, [
+                    {"id": 1, "op": "session_open", "network": "asia"}])
+                sid = opened["result"]["session"]
+                await _pipelined(server.port, [
+                    {"id": 2, "op": "session_update", "session": sid,
+                     "evidence": {"smoke": "yes"}},
+                    {"id": 3, "op": "session_query", "session": sid,
+                     "targets": ["lung"]},
+                    {"id": 4, "op": "session_close", "session": sid},
+                ])
+                traces = server.tracer.traces()
+            finally:
+                await server.stop()
+            return traces
+
+        traces = run(scenario())
+        spans = {s["name"]: s for t in traces for s in t["spans"]}
+        assert spans["session_open"]["attributes"]["network"] == "asia"
+        assert spans["session_open"]["attributes"]["session_bytes"] > 0
+        update = spans["session_update"]
+        assert update["attributes"]["delta_size"] >= 1
+        assert "revalidated_messages" in update["attributes"]
+        assert "evidence_vars" in spans["session_query"]["attributes"]
+
+    def test_sampling_disabled_by_default(self):
+        async def scenario():
+            server = InferenceServer(port=0, max_wait_ms=5.0)
+            server.preload(["asia"])
+            await server.start()
+            try:
+                await _pipelined(server.port, [
+                    {"id": 1, "op": "query", "network": "asia",
+                     "evidence": {"smoke": "yes"}}])
+                (dump,) = await _pipelined(server.port,
+                                           [{"id": 2, "op": "trace_dump"}])
+                stats = server.tracer.stats()
+            finally:
+                await server.stop()
+            return dump, stats
+
+        dump, stats = run(scenario())
+        assert dump["result"]["traceCount"] == 0
+        assert stats["sample_rate"] == 0.0
+        assert stats["traces_sampled"] == 0
+
+    def test_sync_client_observability_methods(self):
+        def sync_ops(port):
+            with ServiceClient("127.0.0.1", port) as client:
+                client.query("asia", {"smoke": "yes"}, targets=["lung"])
+                return (client.metrics(), client.slow_queries(),
+                        client.trace_dump())
+
+        async def scenario():
+            server = InferenceServer(port=0, max_wait_ms=5.0,
+                                     trace_sample_rate=1.0,
+                                     trace_slow_ms=0.0)
+            server.preload(["asia"])
+            await server.start()
+            try:
+                return await asyncio.to_thread(sync_ops, server.port)
+            finally:
+                await server.stop()
+
+        text, slow, dump = run(scenario())
+        assert text.startswith("# HELP")
+        assert slow["count"] >= 1
+        assert dump["traceCount"] >= 1
+
+    def test_invalid_sample_rate_rejected_at_construction(self):
+        with pytest.raises(QueryError, match="sample rate"):
+            InferenceServer(port=0, trace_sample_rate=7.0)

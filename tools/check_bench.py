@@ -27,13 +27,24 @@ speedup over equivalent cold queries must stay above
 two runs on the same machine — and every row's ``max_abs_diff`` between
 the session and cold paths must stay ≤ 1e-12.
 
+With ``--obs`` it guards the observability-overhead artifact
+(``BENCH_obs.json``, ``fastbni obsbench``): with tracing disabled the
+shipped defaults may cost at most ``--max-obs-overhead`` (default 2%)
+throughput vs the no-instrumentation baseline, 1% sampling at most
+``--max-obs-sampled`` (default 10%) — both machine-independent paired
+ratios — and the full-tracing run must actually have captured traces,
+filed slow-log entries, and produced span trees covering every request
+stage (the instrument must demonstrably work, not just be cheap).
+
 Usage::
 
     python tools/check_bench.py --fresh BENCH_exec.fresh.json \
         [--baseline BENCH_exec.json] [--max-slowdown 0.25] \
         [--min-speedup 1.2] [--absolute] \
         [--sessions-fresh BENCH_sessions.fresh.json] \
-        [--min-session-speedup 5.0]
+        [--min-session-speedup 5.0] \
+        [--obs BENCH_obs.fresh.json] [--max-obs-overhead 2.0] \
+        [--max-obs-sampled 10.0]
 
 Exit code 0 = within budget; 1 = regression (report on stderr).
 """
@@ -130,6 +141,53 @@ def check_sessions(fresh: dict, min_speedup: float) -> list[str]:
     return failures
 
 
+OBS_SCHEMA = "fastbni-bench-obs-v1"
+#: Span names a full trace must cover (the server's request stages; the
+#: engine-side stages only appear on requests the cache could not serve).
+OBS_REQUIRED_SPANS = {"request", "parse", "registry_lookup", "queue_wait",
+                      "cache_lookup", "execute", "serialize"}
+
+
+def check_obs(report: dict, max_overhead: float,
+              max_sampled: float) -> list[str]:
+    """Observability budgets: tracing-off ≤2%, 1%-sampling bounded, and
+    the full-tracing run must prove the instrument works."""
+    if report.get("schema") != OBS_SCHEMA:
+        return [f"obs schema mismatch: {report.get('schema')!r} "
+                f"(expected {OBS_SCHEMA!r})"]
+    failures: list[str] = []
+    modes = report.get("modes", {})
+    for mode, budget in (("off", max_overhead), ("sampled_1pct", max_sampled)):
+        row = modes.get(mode)
+        if row is None:
+            failures.append(f"obs report has no {mode!r} mode")
+            continue
+        overhead = float(row["overhead_pct"])
+        if overhead > budget:
+            failures.append(
+                f"obs overhead ({mode}): {overhead:.2f}% over the "
+                f"no-instrumentation baseline, budget {budget:.2f}%")
+    full = modes.get("full")
+    if full is None:
+        failures.append("obs report has no 'full' mode")
+    else:
+        tracing = full.get("tracing", {})
+        if int(tracing.get("traces_sampled", 0)) <= 0:
+            failures.append("full-tracing run sampled no traces")
+        if int(tracing.get("slow_queries", 0)) <= 0:
+            failures.append("full-tracing run filed no slow-log entries "
+                            "(threshold 0 should catch every request)")
+    witness = report.get("witness") or {}
+    if int(witness.get("executed_traces", 0)) <= 0:
+        failures.append("obs witness has no engine-executing traces "
+                        "(kernel-hook spans never fired)")
+    missing = OBS_REQUIRED_SPANS - set(witness.get("span_names", []))
+    if missing:
+        failures.append(
+            f"obs witness traces lack stage spans: {sorted(missing)}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default="BENCH_exec.fresh.json",
@@ -149,6 +207,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-session-speedup", type=float, default=5.0,
                         help="floor on the fresh session-vs-cold speedup "
                              "at 0.75 evidence overlap")
+    parser.add_argument("--obs", default="",
+                        help="observability-overhead report "
+                             "(fastbni obsbench); '' skips the check")
+    parser.add_argument("--max-obs-overhead", type=float, default=2.0,
+                        help="throughput cost budget (%%) of the shipped "
+                             "tracing-off defaults vs the bare baseline")
+    parser.add_argument("--max-obs-sampled", type=float, default=10.0,
+                        help="throughput cost budget (%%) of 1%% trace "
+                             "sampling vs the bare baseline")
     args = parser.parse_args(argv)
 
     fresh = json.loads(Path(args.fresh).read_text())
@@ -173,6 +240,16 @@ def main(argv: list[str] | None = None) -> int:
                              f"{float(headline['speedup']):.2f}x at "
                              f"{SESSIONS_HEADLINE_OVERLAP} overlap "
                              f"(floor {args.min_session_speedup:.2f}x)")
+    obs_note = ""
+    if args.obs:
+        obs = json.loads(Path(args.obs).read_text())
+        failures += check_obs(obs, args.max_obs_overhead,
+                              args.max_obs_sampled)
+        off = obs.get("modes", {}).get("off", {})
+        if "overhead_pct" in off:
+            obs_note = (f", tracing-off overhead "
+                        f"{float(off['overhead_pct']):.2f}% "
+                        f"(budget {args.max_obs_overhead:.2f}%)")
     if failures:
         print(f"\nBENCH REGRESSION ({len(failures)} problem(s)):",
               file=sys.stderr)
@@ -182,7 +259,8 @@ def main(argv: list[str] | None = None) -> int:
     speedup = fresh.get("single_case", {}).get("speedup_fused", 0.0)
     print(f"bench ok: {len(load_rows(fresh))} rows within "
           f"{args.max_slowdown:.0%} of baseline, fused speedup "
-          f"{speedup:.2f}x (floor {args.min_speedup:.2f}x){sessions_note}")
+          f"{speedup:.2f}x (floor {args.min_speedup:.2f}x)"
+          f"{sessions_note}{obs_note}")
     return 0
 
 
