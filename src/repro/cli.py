@@ -389,6 +389,67 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     print("server stopped")
 
 
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    import asyncio
+    import os
+
+    from repro.cluster.router import reload_argv, run_cluster
+
+    preload = tuple(n.strip() for n in args.preload.split(",") if n.strip())
+    # Worker knobs must cross a process boundary as JSON (the supervisor
+    # passes them via --options-json), so only plain values go here.
+    worker_options = {
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "policy": args.policy,
+        "cache": args.cache == "on",
+        "max_bytes": int(args.max_mb * 1024 * 1024),
+    }
+
+    def on_ready(router) -> None:
+        models = ", ".join(preload) if preload else "none"
+        print(f"fastbni cluster router listening on "
+              f"{router.host}:{router.port} "
+              f"({args.workers} workers, max_inflight={args.max_inflight}, "
+              f"preloaded: {models})", flush=True)
+
+    try:
+        reload_requested = asyncio.run(run_cluster(
+            args.host, args.port,
+            workers=args.workers,
+            preload=preload,
+            worker_options=worker_options,
+            on_ready=on_ready,
+            max_inflight=args.max_inflight,
+            replicate_hot_qps=args.replicate_hot,
+            drain_timeout_s=args.drain_timeout,
+        ))
+    except KeyboardInterrupt:
+        reload_requested = False
+    if reload_requested:
+        argv = reload_argv()
+        print(f"cluster drained; exec-reloading: {' '.join(argv[1:])}",
+              flush=True)
+        os.execv(argv[0], argv)
+    print("cluster stopped")
+
+
+def _cmd_clusterbench(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.cluster import (render_cluster, run_cluster_bench,
+                                     write_cluster)
+
+    report = run_cluster_bench(network=args.network, requests=args.requests,
+                               workers=args.workers,
+                               concurrency=args.concurrency,
+                               repeats=args.repeats)
+    print(render_cluster(report))
+    if args.out:
+        write_cluster(report, Path(args.out))
+        print(f"wrote {args.out}")
+
+
 def _run_session_demo(client, args: argparse.Namespace) -> None:
     """Scripted streaming walk: open → add findings → retract → close."""
     net = _load_any(args.network)
@@ -454,7 +515,8 @@ def _cmd_client(args: argparse.Namespace) -> None:
     needs_network = args.op not in ("health", "stats", "stats_reset",
                                     "cache_stats", "metrics", "slow_queries",
                                     "trace_dump", "session_update",
-                                    "session_query", "session_close")
+                                    "session_query", "session_close",
+                                    "cluster_stats", "cluster_drain")
     if needs_network and not args.network:
         raise SystemExit(f"error: op {args.op!r} requires a network argument")
     needs_session = args.op in ("session_update", "session_query",
@@ -465,7 +527,9 @@ def _cmd_client(args: argparse.Namespace) -> None:
                if args.retract else None)
     try:
         with ServiceClient(args.host, args.port,
-                           connect_retry_s=args.connect_timeout) as client:
+                           connect_retry_s=args.connect_timeout,
+                           retries=args.retries,
+                           retry_backoff_s=args.retry_backoff) as client:
             if args.op == "query":
                 result = client.query(args.network, evidence or None,
                                       targets=targets, engine=engine)
@@ -746,6 +810,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "(info/stats report the active one)")
     sv.set_defaults(func=_cmd_serve)
 
+    cu = sub.add_parser("cluster",
+                        help="run a sharded cluster: front router + N "
+                             "worker processes (same wire protocol as "
+                             "serve)")
+    cu.add_argument("--host", default="127.0.0.1")
+    cu.add_argument("--port", type=int, default=7421,
+                    help="router TCP port (0 picks an ephemeral port; "
+                         "workers always bind ephemeral ports)")
+    cu.add_argument("--workers", type=int, default=4,
+                    help="worker processes (one serving core each)")
+    cu.add_argument("--preload", default="",
+                    help="comma-separated models every worker compiles "
+                         "before the cluster reports ready")
+    cu.add_argument("--replicate-hot", type=float, default=50.0,
+                    help="replicate a model to one more worker per this "
+                         "many live requests/s (0 disables hot "
+                         "replication)")
+    cu.add_argument("--max-inflight", type=int, default=64,
+                    help="per-worker in-flight window; past it requests "
+                         "are rejected with error.code=overloaded")
+    cu.add_argument("--drain-timeout", type=float, default=30.0,
+                    help="cluster_drain: seconds to wait for in-flight "
+                         "requests before shutting down anyway")
+    cu.add_argument("--max-batch", type=int, default=64,
+                    help="per-worker micro-batcher flush size")
+    cu.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="per-worker micro-batcher wait bound")
+    cu.add_argument("--policy", default="auto",
+                    choices=("exact", "approx", "auto"))
+    cu.add_argument("--cache", default="on", choices=("on", "off"),
+                    help="per-worker two-tier incremental cache")
+    cu.add_argument("--max-mb", type=float, default=256.0,
+                    help="per-worker registry byte budget")
+    cu.set_defaults(func=_cmd_cluster)
+
     cl = sub.add_parser("client", help="query a running inference server")
     cl.add_argument("network", nargs="?",
                     help="model name or .bif path (not needed for "
@@ -756,7 +855,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "session_query", "session_close",
                              "session_demo", "health", "stats",
                              "stats_reset", "cache_stats", "metrics",
-                             "slow_queries", "trace_dump"))
+                             "slow_queries", "trace_dump",
+                             "cluster_stats", "cluster_drain"))
     cl.add_argument("--session", default="",
                     help="session id (from session_open) for the "
                          "session_update/session_query/session_close ops")
@@ -779,6 +879,13 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("--port", type=int, default=7421)
     cl.add_argument("--connect-timeout", type=float, default=5.0,
                     help="keep retrying the connect for this many seconds")
+    cl.add_argument("--retries", type=int, default=0,
+                    help="transparent retry budget: reconnect+resend on "
+                         "dropped connections (idempotent ops) and on "
+                         "overloaded/draining rejections (all ops)")
+    cl.add_argument("--retry-backoff", type=float, default=0.05,
+                    help="base seconds between retries (doubles per "
+                         "attempt, capped, jittered)")
     cl.add_argument("--json", action="store_true",
                     help="print the raw JSON response envelope")
     cl.set_defaults(func=_cmd_client)
@@ -809,6 +916,24 @@ def build_parser() -> argparse.ArgumentParser:
     ob.add_argument("--out", default="BENCH_obs.json",
                     help="output JSON path ('' to skip writing)")
     ob.set_defaults(func=_cmd_obsbench)
+
+    cb = sub.add_parser("clusterbench",
+                        help="cluster scaling benchmark: router + N "
+                             "workers vs one single-process server "
+                             "(writes BENCH_cluster.json)")
+    cb.add_argument("--network", default="pathfinder",
+                    help="bundled/analog name or .bif path")
+    cb.add_argument("--requests", type=int, default=400,
+                    help="closed-loop requests per measured round")
+    cb.add_argument("--workers", type=int, default=4,
+                    help="cluster worker processes")
+    cb.add_argument("--concurrency", type=int, default=16,
+                    help="concurrent closed-loop client connections")
+    cb.add_argument("--repeats", type=int, default=6,
+                    help="interleaved counterbalanced timing rounds")
+    cb.add_argument("--out", default="BENCH_cluster.json",
+                    help="output JSON path ('' to skip writing)")
+    cb.set_defaults(func=_cmd_clusterbench)
     return p
 
 

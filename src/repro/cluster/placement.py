@@ -1,0 +1,115 @@
+"""Consistent-hash model placement for the cluster router.
+
+A classic hash ring with virtual nodes: each worker owns ``vnodes``
+pseudo-random points on a 64-bit circle, and a model name is served by
+the first worker point clockwise from the name's hash.  Properties the
+router leans on:
+
+* **stability** — removing one worker only remaps the models that lived
+  on its points (≈ 1/N of them); every other model keeps its worker, so
+  an ejection does not stampede the survivors' model caches;
+* **replication** — the next *distinct* workers clockwise form the
+  natural replica set (:meth:`HashRing.nodes_for` with ``count > 1``),
+  which hot models use to spread load;
+* **determinism** — placement is a pure function of the membership set,
+  so the router, tests, and an operator reading docs/cluster.md all
+  predict the same assignment (no hidden state to disagree about).
+
+Hashing is ``blake2b`` (stdlib, stable across processes and Python
+versions — ``hash()`` is salted per process and would make every worker
+disagree about placement).
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+
+#: Virtual nodes per worker: enough that a 4-worker ring balances within
+#: a few percent, cheap enough that membership changes rebuild instantly.
+DEFAULT_VNODES = 64
+
+
+def _hash(key: str) -> int:
+    return int.from_bytes(blake2b(key.encode(), digest_size=8).digest(),
+                          "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto worker ids."""
+
+    def __init__(self, nodes=(), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self._vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self._vnodes):
+            point = _hash(f"{node}#{i}")
+            # Point collisions between nodes are ~impossible at 64 bits
+            # but would silently shadow a node; deterministic re-probe.
+            while point in self._owners:
+                point = _hash(f"{node}#{i}#{point}")
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        dead = [p for p, n in self._owners.items() if n == node]
+        for point in dead:
+            del self._owners[point]
+        self._points = sorted(self._owners)
+
+    def nodes_for(self, key: str, count: int = 1,
+                  alive=None) -> list[str]:
+        """The first ``count`` distinct workers clockwise from ``key``.
+
+        ``alive`` (an optional membership filter — the router passes its
+        healthy set) drops ejected workers *without* mutating the ring:
+        placement stays stable across a worker's brief death/respawn,
+        so its models come straight back to it instead of migrating
+        twice.  Returns fewer than ``count`` nodes when the ring (after
+        filtering) is smaller; ``[]`` when nothing is routable.
+        """
+        if not self._points or count <= 0:
+            return []
+        eligible = (self._nodes if alive is None
+                    else {n for n in self._nodes if n in alive})
+        if not eligible:
+            return []
+        count = min(count, len(eligible))
+        start = bisect.bisect(self._points, _hash(key)) % len(self._points)
+        chosen: list[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[
+                self._points[(start + offset) % len(self._points)]]
+            if owner in eligible and owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+    def node_for(self, key: str, alive=None) -> str | None:
+        """Primary owner of ``key`` (first clockwise eligible worker)."""
+        nodes = self.nodes_for(key, 1, alive)
+        return nodes[0] if nodes else None

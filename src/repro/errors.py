@@ -57,11 +57,19 @@ class ServiceError(ReproError):
     """The inference service rejected a request or a remote call failed.
 
     Carries the server-side error class name in ``error_type`` when the
-    failure was reported by a remote :mod:`repro.service` server.
+    failure was reported by a remote :mod:`repro.service` server, and an
+    optional machine-readable ``code`` for conditions clients branch on:
+    ``"draining"`` (server is shutting down gracefully — retry elsewhere),
+    ``"overloaded"`` (a cluster worker's in-flight window is full — back
+    off and retry), ``"no_worker"`` (the cluster router has no healthy
+    worker for the model).  The server copies ``code`` into the wire
+    response's ``error.code`` field.
     """
 
-    def __init__(self, message: str, error_type: str | None = None) -> None:
+    def __init__(self, message: str, error_type: str | None = None,
+                 code: str | None = None) -> None:
         self.error_type = error_type
+        self.code = code
         super().__init__(message)
 
 
@@ -76,5 +84,4 @@ class SessionError(ServiceError):
     """
 
     def __init__(self, message: str, code: str = "session_closed") -> None:
-        self.code = code
-        super().__init__(message, error_type="SessionError")
+        super().__init__(message, error_type="SessionError", code=code)

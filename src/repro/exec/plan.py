@@ -246,6 +246,27 @@ class MessagePlan:
             self._base = base
         return self._base
 
+    def adopt_base(self, flat: np.ndarray) -> None:
+        """Adopt an externally-owned flat base buffer (shared memory).
+
+        Cluster workers publish each plan's CPT-product clique tables
+        into one named shared-memory segment (:func:`repro.parallel.
+        sharedmem.share_readonly`) so model replicas across processes
+        map the *same physical pages* instead of duplicating them.  The
+        buffer is only ever a copy *source* (``fresh_state`` copies it
+        into a private arena), so a read-only view is safe to adopt.
+        """
+        if flat.shape != (self.spec.clique_entries,):
+            raise ValueError(
+                f"adopted base has shape {flat.shape}, plan needs "
+                f"({self.spec.clique_entries},)")
+        base: list[np.ndarray] = []
+        for cid, clique in enumerate(self.tree.cliques):
+            off = self.spec.clique_offsets[cid]
+            base.append(flat[off:off + clique.size])
+        self._base_flat = flat
+        self._base = base
+
     def fresh_state(self) -> TreeState:
         """A calibration-ready :class:`TreeState` backed by one arena.
 

@@ -7,7 +7,8 @@ the server's ``metrics`` / ``slow_queries`` / ``trace_dump`` ops and the
 ``fastbni trace`` / ``serve --trace-*`` CLI knobs.
 """
 
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import (render_cluster_prometheus,
+                                  render_prometheus)
 from repro.obs.trace import (
     DEFAULT_SLOW_THRESHOLD_MS,
     ScheduleRecorder,
@@ -28,5 +29,6 @@ __all__ = [
     "chrome_trace",
     "current_kernel_hooks",
     "install_kernel_hooks",
+    "render_cluster_prometheus",
     "render_prometheus",
 ]

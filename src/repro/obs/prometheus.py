@@ -211,6 +211,19 @@ def render_prometheus(snapshot: dict) -> str:
                        labels={"stage": stage}, edge_scale=1e-3,
                        emit_header=False)
 
+    networks = snapshot.get("networks")
+    if networks:
+        w.header("fastbni_network_requests_total",
+                 "Requests routed, per model network.", "counter")
+        for name, stats in sorted(networks.items()):
+            w.sample("fastbni_network_requests_total", stats["total"],
+                     {"network": name})
+        w.header("fastbni_network_qps",
+                 "Live requests/s per model network (short window; the "
+                 "hot-replication signal).", "gauge")
+        for name, stats in sorted(networks.items()):
+            w.sample("fastbni_network_qps", stats["qps"], {"network": name})
+
     tracing = snapshot.get("tracing")
     if tracing:
         w.metric("fastbni_trace_sample_rate",
@@ -220,5 +233,92 @@ def render_prometheus(snapshot: dict) -> str:
                  "the trace buffer.", "counter", tracing["traces_sampled"])
         w.metric("fastbni_slow_queries", "Entries currently in the "
                  "slow-query log.", "gauge", tracing["slow_entries"])
+
+    return w.text()
+
+
+#: Per-worker series exposed by the cluster router: (metric suffix,
+#: snapshot path, help text, type).  Distinct ``fastbni_worker_*`` names
+#: — not a ``worker`` label on the single-process families — keep the
+#: aggregate families' sample grouping valid while still giving one
+#: scrape both cluster totals and per-worker breakdowns.
+_WORKER_SERIES = (
+    ("requests_total", ("requests", "total"),
+     "Requests served by one cluster worker.", "counter"),
+    ("request_errors_total", ("requests", "errors"),
+     "Error responses from one cluster worker.", "counter"),
+    ("throughput_rps", ("throughput_rps", "window"),
+     "Recent-window requests/s of one cluster worker.", "gauge"),
+    ("latency_p99_seconds", ("latency_ms", "p99"),
+     "p99 request latency of one cluster worker.", "gauge"),
+    ("sessions_open", ("sessions", "open"),
+     "Sessions currently pinned to one cluster worker.", "gauge"),
+)
+
+
+def render_cluster_prometheus(aggregate: dict, workers: dict[str, dict],
+                              router: dict | None = None) -> str:
+    """Cluster exposition: totals + a ``worker``-labelled dimension.
+
+    ``aggregate`` is the :func:`~repro.service.metrics.aggregate_snapshots`
+    merge of every live worker's stats (rendered through the normal
+    single-process families, so existing dashboards keep working at the
+    router); ``workers`` maps worker id → that worker's own snapshot
+    (``None``/missing counters render as 0 — a just-respawned worker is
+    visible immediately).  ``router`` adds router-side gauges: healthy
+    worker count, per-worker in-flight, restarts, ejections, sticky
+    sessions.  One scrape at the router therefore answers both "what is
+    the cluster doing" and "which worker is the outlier".
+    """
+    w = _Writer()
+    w.lines.append(render_prometheus(aggregate).rstrip("\n"))
+
+    def path(snap: dict, keys: tuple) -> float:
+        node = snap
+        for key in keys:
+            node = node.get(key, {}) if isinstance(node, dict) else {}
+        return node if isinstance(node, (int, float)) else 0.0
+
+    w.header("fastbni_worker_up",
+             "1 if the worker answered its latest health probe.", "gauge")
+    for worker_id in sorted(workers):
+        w.sample("fastbni_worker_up", 1 if workers[worker_id] else 0,
+                 {"worker": worker_id})
+    for suffix, keys, help_text, kind in _WORKER_SERIES:
+        name = f"fastbni_worker_{suffix}"
+        w.header(name, help_text, kind)
+        for worker_id in sorted(workers):
+            snap = workers[worker_id] or {}
+            value = path(snap, keys)
+            if suffix == "latency_p99_seconds":
+                value /= 1e3
+            w.sample(name, value, {"worker": worker_id})
+
+    if router:
+        w.metric("fastbni_cluster_workers", "Configured worker count.",
+                 "gauge", router.get("workers", len(workers)))
+        w.metric("fastbni_cluster_workers_healthy",
+                 "Workers currently routable.", "gauge",
+                 router.get("healthy", 0))
+        w.metric("fastbni_cluster_restarts_total",
+                 "Worker processes respawned by the supervisor.", "counter",
+                 router.get("restarts", 0))
+        w.metric("fastbni_cluster_ejections_total",
+                 "Workers ejected after failed health probes.", "counter",
+                 router.get("ejections", 0))
+        w.metric("fastbni_cluster_overloaded_total",
+                 "Requests rejected with backpressure (overloaded).",
+                 "counter", router.get("overloaded", 0))
+        w.metric("fastbni_cluster_sticky_sessions",
+                 "Live session→worker sticky-routing entries.", "gauge",
+                 router.get("sticky_sessions", 0))
+        inflight = router.get("inflight")
+        if inflight is not None:
+            w.header("fastbni_worker_inflight",
+                     "Requests currently in flight at one worker (router "
+                     "view).", "gauge")
+            for worker_id in sorted(inflight):
+                w.sample("fastbni_worker_inflight", inflight[worker_id],
+                         {"worker": worker_id})
 
     return w.text()

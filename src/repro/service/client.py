@@ -11,11 +11,31 @@ format is the same newline-delimited JSON documented in
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 
 from repro.errors import ServiceError, SessionError
 from repro.service.server import DEFAULT_PORT
+
+#: Ops safe to resend after a dropped connection: the client cannot know
+#: whether the server executed the lost request, so only side-effect-free
+#: operations may be retried transparently.  Session mutations
+#: (open/update/close) and counter resets are excluded — replaying those
+#: could double-apply an edit or leak a session.
+IDEMPOTENT_OPS = frozenset({
+    "query", "query_batch", "mpe", "info", "health", "stats",
+    "cache_stats", "metrics", "slow_queries", "trace_dump",
+    "session_query", "cluster_stats",
+})
+
+#: ``error.code`` values that mean "rejected before execution — retry is
+#: always safe", regardless of the op: a draining or overloaded server
+#: refuses work up front, so even a ``session_update`` can be resent.
+RETRYABLE_CODES = frozenset({"overloaded", "draining", "no_worker"})
+
+#: Exponential-backoff ceiling between retry attempts (seconds).
+_BACKOFF_CAP_S = 2.0
 
 
 class ServiceClient:
@@ -32,6 +52,18 @@ class ServiceClient:
         Keep retrying the initial connect for this many seconds — handy
         when the server is being started in parallel (CI smoke jobs,
         benchmarks).  0 (default) fails immediately.
+    retries:
+        Transparent retry budget per call (default 0 = old behaviour).
+        Two failure classes qualify: a dropped/refused connection
+        (``ECONNRESET`` during a worker restart) for **idempotent ops
+        only** (:data:`IDEMPOTENT_OPS` — the client cannot know whether
+        a lost mutation executed), and ``overloaded``/``draining``/
+        ``no_worker`` rejections for **all** ops (the server refused the
+        work before touching it).  Each attempt reconnects and backs off
+        exponentially with jitter.
+    retry_backoff_s:
+        Base delay for the first retry (default 0.05s); attempt *k*
+        sleeps ``min(2s, base * 2**k)`` plus up to 25% jitter.
 
     Failure modes: :class:`~repro.errors.ServiceError` when the server is
     unreachable, closes the connection, or answers ``ok: false`` — in the
@@ -43,35 +75,74 @@ class ServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
-                 timeout: float = 30.0, connect_retry_s: float = 0.0) -> None:
+                 timeout: float = 30.0, connect_retry_s: float = 0.0,
+                 retries: int = 0, retry_backoff_s: float = 0.05) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
         self._next_id = 0
-        deadline = time.monotonic() + connect_retry_s
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect(connect_retry_s)
+
+    def _connect(self, retry_s: float = 0.0) -> None:
+        """(Re)establish the TCP connection, retrying for ``retry_s``."""
+        self._teardown()
+        deadline = time.monotonic() + retry_s
         while True:
             try:
-                self._sock = socket.create_connection((host, port),
-                                                      timeout=timeout)
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
                 break
             except OSError:
                 if time.monotonic() >= deadline:
                     raise ServiceError(
-                        f"cannot connect to inference server at {host}:{port}"
-                    ) from None
+                        f"cannot connect to inference server at "
+                        f"{self.host}:{self.port}",
+                        code="connection_lost") from None
                 time.sleep(0.1)
         self._file = self._sock.makefile("rwb")
 
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(_BACKOFF_CAP_S, self.retry_backoff_s * (2 ** attempt))
+        time.sleep(delay * (1.0 + 0.25 * random.random()))
+
     # ----------------------------------------------------------------- wire
-    def request(self, op: str, **fields) -> dict:
-        """Send one request; return the full response envelope."""
+    def _request_once(self, op: str, fields: dict) -> dict:
         self._next_id += 1
         payload = {"id": self._next_id, "op": op}
         payload.update({k: v for k, v in fields.items() if v is not None})
-        self._file.write(json.dumps(payload).encode() + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        if self._file is None:
+            self._connect()
+        try:
+            self._file.write(json.dumps(payload).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            self._teardown()
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} lost: {exc}",
+                code="connection_lost") from None
         if not line:
-            raise ServiceError("server closed the connection")
+            self._teardown()
+            raise ServiceError("server closed the connection",
+                               code="connection_lost")
         response = json.loads(line)
         if response.get("id") != self._next_id:
             raise ServiceError(
@@ -80,20 +151,59 @@ class ServiceClient:
             )
         return response
 
+    def request(self, op: str, **fields) -> dict:
+        """Send one request; return the full response envelope.
+
+        With ``retries > 0``, idempotent ops are transparently resent
+        over a fresh connection when the server drops mid-call (worker
+        restart), with capped exponential backoff + jitter between
+        attempts.
+        """
+        attempt = 0
+        while True:
+            try:
+                # _request_once reconnects lazily when the previous
+                # attempt tore the socket down; a still-down server
+                # surfaces as another connection_lost and consumes the
+                # next attempt.
+                return self._request_once(op, fields)
+            except ServiceError as exc:
+                retryable = (exc.code == "connection_lost"
+                             and op in IDEMPOTENT_OPS)
+                if not retryable or attempt >= self.retries:
+                    raise
+            self._backoff(attempt)
+            attempt += 1
+
     def call(self, op: str, **fields) -> dict:
-        """Send one request; return ``result`` or raise :class:`ServiceError`."""
-        response = self.request(op, **fields)
-        if not response.get("ok"):
+        """Send one request; return ``result`` or raise :class:`ServiceError`.
+
+        Rejections whose ``error.code`` is in :data:`RETRYABLE_CODES`
+        (``overloaded`` backpressure, a ``draining`` worker, a placement
+        hole during respawn) are retried for **all** ops within the same
+        ``retries`` budget — the server refused them before execution,
+        so resending cannot double-apply anything.
+        """
+        attempt = 0
+        while True:
+            response = self.request(op, **fields)
+            if response.get("ok"):
+                return response["result"]
             error = response.get("error") or {}
             message = error.get("message", "unknown server error")
+            code = error.get("code")
+            if code in RETRYABLE_CODES and attempt < self.retries:
+                self._backoff(attempt)
+                attempt += 1
+                continue
             if error.get("type") == "SessionError":
                 # Re-raise with the machine-readable code so callers can
                 # branch on eviction ("session_closed") vs typo
                 # ("session_unknown") without string matching.
                 raise SessionError(message,
                                    code=error.get("code", "session_closed"))
-            raise ServiceError(message, error_type=error.get("type"))
-        return response["result"]
+            raise ServiceError(message, error_type=error.get("type"),
+                               code=code)
 
     # ------------------------------------------------------------ operations
     def query(self, network: str, evidence: dict | None = None,

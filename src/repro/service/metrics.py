@@ -66,10 +66,12 @@ class ServiceMetrics:
 
     def __init__(self, *, latency_window: int = 4096,
                  rate_window_s: float = 60.0,
+                 qps_window_s: float = 10.0,
                  clock=time.monotonic) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._rate_window_s = rate_window_s
+        self._qps_window_s = qps_window_s
         self._latency_window = latency_window
         self._reset_locked()
 
@@ -116,6 +118,11 @@ class ServiceMetrics:
         self._stage_count: Counter[str] = Counter()
         self._stage_sum_s: Counter[str] = Counter()
         self._stage_hist: dict[str, Counter[str]] = {}
+        #: Per-network request timestamps inside the short QPS window —
+        #: the live signal the cluster router's hot-model replication
+        #: reads — plus lifetime totals for the stats endpoint.
+        self._network_times: dict[str, deque[float]] = {}
+        self._network_totals: Counter[str] = Counter()
 
     def reset(self) -> None:
         """Zero every counter and restart the clock (the ``stats_reset`` op).
@@ -253,6 +260,37 @@ class ServiceMetrics:
         with self._lock:
             self._session_queries += 1
 
+    def observe_network_request(self, network: str) -> None:
+        """One request routed to ``network`` (feeds the live QPS window).
+
+        The cluster router calls this per routed work op; ``network_qps``
+        is then the replication driver — a model whose short-window QPS
+        crosses the hot threshold earns replicas on more workers.
+        """
+        with self._lock:
+            now = self._clock()
+            times = self._network_times.get(network)
+            if times is None:
+                times = self._network_times[network] = deque()
+            times.append(now)
+            self._network_totals[network] += 1
+            cutoff = now - self._qps_window_s
+            while times and times[0] < cutoff:
+                times.popleft()
+
+    def network_qps(self) -> dict[str, float]:
+        """Per-network requests/s over the short QPS window (live, not
+        lifetime — a model that *was* hot an hour ago reads ~0 now)."""
+        with self._lock:
+            now = self._clock()
+            cutoff = now - self._qps_window_s
+            out: dict[str, float] = {}
+            for name, times in self._network_times.items():
+                while times and times[0] < cutoff:
+                    times.popleft()
+                out[name] = len(times) / self._qps_window_s
+            return out
+
     def mean_ess(self) -> float:
         """Mean reported ESS over approx-served queries (0 if none)."""
         with self._lock:
@@ -364,4 +402,151 @@ class ServiceMetrics:
                     }
                     for stage in STAGES if self._stage_count[stage]
                 },
+                "networks": {
+                    name: {
+                        "total": self._network_totals[name],
+                        "qps": (sum(1 for t in times
+                                    if t >= now - self._qps_window_s)
+                                / self._qps_window_s),
+                    }
+                    for name, times in self._network_times.items()
+                },
             }
+
+
+# ---------------------------------------------------------------- aggregation
+def _weighted_mean(pairs: list[tuple[float, float]]) -> float:
+    """Count-weighted mean over ``(value, weight)`` pairs (0 if no weight)."""
+    total = sum(w for _, w in pairs)
+    return sum(v * w for v, w in pairs) / total if total else 0.0
+
+
+def aggregate_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-worker ``ServiceMetrics.snapshot()`` dicts into one
+    cluster-total snapshot (the router's ``stats`` body).
+
+    Additive counters sum; rates/means are recomputed from the summed
+    numerators/denominators; latency percentiles are count-weighted means
+    of the per-worker percentiles (exact merging would need the raw
+    reservoirs — the approximation is flagged here and in docs/cluster.md,
+    and the per-worker snapshots travel alongside under ``workers`` so
+    nothing is hidden).  Worker ids (when stamped by worker-mode servers)
+    key the per-worker section.
+    """
+    snapshots = [s for s in snapshots if s]
+    if not snapshots:
+        return {"workers": 0}
+
+    def sum_path(*path):
+        total = 0
+        for snap in snapshots:
+            node = snap
+            for key in path:
+                node = node.get(key, {}) if isinstance(node, dict) else {}
+            if isinstance(node, (int, float)):
+                total += node
+        return total
+
+    requests = sum_path("requests", "total")
+    errors = sum_path("requests", "errors")
+    by_op: Counter[str] = Counter()
+    fill_hist: Counter[str] = Counter()
+    for snap in snapshots:
+        by_op.update(snap.get("requests", {}).get("by_op", {}))
+        fill_hist.update(snap.get("batches", {}).get("fill_hist", {}))
+    latency_pairs = {
+        p: [(s["latency_ms"][p], s["latency_ms"]["count"])
+            for s in snapshots if s.get("latency_ms", {}).get("count")]
+        for p in ("p50", "p90", "p99", "mean")
+    }
+    batches = sum_path("batches", "count")
+    batched_cases = sum_path("batches", "cases")
+    hits = sum_path("model_cache", "hits")
+    lookups = hits + sum_path("model_cache", "misses")
+    delta_served = sum_path("incremental", "delta_served")
+    updates = sum_path("sessions", "updates")
+    stages: dict[str, dict] = {}
+    for snap in snapshots:
+        for stage, stats in snap.get("stages", {}).items():
+            agg = stages.setdefault(stage, {"count": 0, "sum_ms": 0.0,
+                                            "buckets": Counter()})
+            agg["count"] += stats.get("count", 0)
+            agg["sum_ms"] += stats.get("sum_ms", 0.0)
+            agg["buckets"].update(stats.get("buckets", {}))
+    for stage, agg in stages.items():
+        agg["mean_ms"] = agg["sum_ms"] / agg["count"] if agg["count"] else 0.0
+        agg["buckets"] = dict(agg["buckets"])
+    networks: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, stats in snap.get("networks", {}).items():
+            agg = networks.setdefault(name, {"total": 0, "qps": 0.0})
+            agg["total"] += stats.get("total", 0)
+            agg["qps"] += stats.get("qps", 0.0)
+    ess_pairs = [(s["engines"]["mean_ess"], s["engines"]["approx_cases"])
+                 for s in snapshots
+                 if s.get("engines", {}).get("approx_cases")]
+    return {
+        "workers": len(snapshots),
+        "uptime_s": max(s.get("uptime_s", 0.0) for s in snapshots),
+        "requests": {"total": requests, "errors": errors,
+                     "by_op": dict(by_op)},
+        "throughput_rps": {
+            "window": sum_path("throughput_rps", "window"),
+            "lifetime": sum_path("throughput_rps", "lifetime"),
+        },
+        "latency_ms": {
+            "count": sum_path("latency_ms", "count"),
+            **{p: _weighted_mean(pairs)
+               for p, pairs in latency_pairs.items()},
+            "max": max((s.get("latency_ms", {}).get("max", 0.0)
+                        for s in snapshots), default=0.0),
+        },
+        "batches": {
+            "count": batches,
+            "cases": batched_cases,
+            "mean_fill": batched_cases / batches if batches else 0.0,
+            "max_fill": max((s.get("batches", {}).get("max_fill", 0)
+                             for s in snapshots), default=0),
+            "fill_hist": dict(fill_hist),
+            "fallback_cases": sum_path("batches", "fallback_cases"),
+            "explicit_count": sum_path("batches", "explicit_count"),
+            "explicit_cases": sum_path("batches", "explicit_cases"),
+        },
+        "model_cache": {
+            "hits": hits,
+            "misses": lookups - hits,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "baseline_hits": sum_path("model_cache", "baseline_hits"),
+        },
+        "engines": {
+            "exact_cases": sum_path("engines", "exact_cases"),
+            "approx_cases": sum_path("engines", "approx_cases"),
+            "mean_ess": _weighted_mean(ess_pairs),
+        },
+        "incremental": {
+            "memo_served": sum_path("incremental", "memo_served"),
+            "delta_served": delta_served,
+            "mean_delta_size": (
+                _weighted_mean([(s["incremental"]["mean_delta_size"],
+                                 s["incremental"]["delta_served"])
+                                for s in snapshots
+                                if s.get("incremental", {}).get("delta_served")])
+                if delta_served else 0.0),
+        },
+        "sessions": {
+            "opened": sum_path("sessions", "opened"),
+            "closed": sum_path("sessions", "closed"),
+            "evicted": sum_path("sessions", "evicted"),
+            "open": sum_path("sessions", "open"),
+            "updates": updates,
+            "queries": sum_path("sessions", "queries"),
+            "mean_delta_size": (
+                _weighted_mean([(s["sessions"]["mean_delta_size"],
+                                 s["sessions"]["updates"])
+                                for s in snapshots
+                                if s.get("sessions", {}).get("updates")])
+                if updates else 0.0),
+        },
+        "stages": stages,
+        "networks": networks,
+    }

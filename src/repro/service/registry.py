@@ -160,6 +160,7 @@ class ModelRegistry:
                  approx_options: dict | None = None,
                  cache: bool = True,
                  cache_options: dict | None = None,
+                 on_load=None,
                  **engine_options) -> None:
         if max_bytes <= 0:
             raise NetworkError(f"registry byte budget must be positive, got {max_bytes}")
@@ -174,6 +175,13 @@ class ModelRegistry:
         #: ``max_memo``, ``max_bytes``, ``min_overlap``).
         self.cache_enabled = cache
         self.cache_options = dict(cache_options or {})
+        #: ``on_load(name, engine)`` runs after an exact engine compiles,
+        #: before it serves.  The cluster worker uses it to swap the
+        #: compiled plan's clique base tables for a shared-memory segment
+        #: (``MessagePlan.adopt_base``) so model replicas across worker
+        #: processes map one copy.  Hook failures are non-fatal: serving
+        #: from a private buffer beats not serving.
+        self.on_load = on_load
         if planner is not None:
             self.planner = planner
         else:
@@ -405,6 +413,11 @@ class ModelRegistry:
                 tree = None  # incompatible/corrupt cache: recompile below
         engine = BatchedFastBNI(net, tree=tree, **self.engine_options)
         engine.prepare_baseline()
+        if self.on_load is not None:
+            try:
+                self.on_load(name, engine)
+            except Exception:  # noqa: BLE001 - sharing is an optimisation
+                pass  # private plan buffers still serve correctly
         if cache_path is not None and not from_cache:
             cache_path.parent.mkdir(parents=True, exist_ok=True)
             save_tree(engine.tree, cache_path)

@@ -81,7 +81,7 @@ import numpy as np
 from repro.approx.engine import ApproxInferenceResult
 from repro.approx.planner import POLICIES
 from repro.errors import (EvidenceError, ParseError, QueryError, ReproError,
-                          SessionError)
+                          ServiceError, SessionError)
 from repro.exec.engine_api import CAPABILITIES_BY_KIND
 from repro.jt.evidence_soft import split_evidence
 from repro.obs import (DEFAULT_SLOW_THRESHOLD_MS, Tracer, chrome_trace,
@@ -196,9 +196,13 @@ class InferenceServer:
                  trace_buffer: int = DEFAULT_MAX_TRACES,
                  trace_slow_ms: float = DEFAULT_SLOW_THRESHOLD_MS,
                  trace_slow_log: int = DEFAULT_SLOW_LOG,
+                 worker_id: str | None = None,
                  **registry_options) -> None:
         self.host = host
         self.port = port
+        #: Cluster identity: set by :mod:`repro.cluster.worker` so health
+        #: responses and metrics snapshots name the process they describe.
+        self.worker_id = worker_id
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         #: ``tracer`` adopts an external tracer; otherwise one is built
         #: from the ``trace_*`` knobs.  With ``trace_sample_rate=0`` and
@@ -226,6 +230,14 @@ class InferenceServer:
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
+        #: Graceful-drain state: once set, work ops are rejected with
+        #: ``error.code == "draining"`` while introspection ops (health,
+        #: stats, metrics, ...) keep answering.  ``_idle`` is set whenever
+        #: no request line is being processed, so drain() can await it.
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # ------------------------------------------------------------- lifecycle
     def preload(self, names) -> None:
@@ -243,6 +255,33 @@ class InferenceServer:
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful drain: stop accepting work, let in-flight finish.
+
+        Closes the listener, flips the server into draining mode (new
+        work ops are rejected with ``error.code == "draining"`` so
+        retrying clients move elsewhere) and waits for every request
+        already being processed to complete.  Established connections
+        stay open — pipelined responses still go out, and introspection
+        ops keep answering — so callers normally follow with
+        :meth:`stop` once this returns.  Returns ``True`` if in-flight
+        work hit zero within ``timeout_s`` (``None`` = wait forever).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -344,6 +383,18 @@ class InferenceServer:
 
     async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
                            lock: asyncio.Lock) -> None:
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            await self._handle_line_inner(line, writer, lock)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _handle_line_inner(self, line: bytes,
+                                 writer: asyncio.StreamWriter,
+                                 lock: asyncio.Lock) -> None:
         request_id = None
         op = "invalid"
         network = None
@@ -397,8 +448,18 @@ class InferenceServer:
                            latency_s=latency, ok=ok)
         await self._send(writer, lock, data)
 
+    #: Ops still answered while draining: introspection plus
+    #: session_close (releasing state is exactly what a drain wants).
+    _DRAIN_SAFE_OPS = frozenset({
+        "health", "stats", "stats_reset", "cache_stats", "metrics",
+        "slow_queries", "trace_dump", "session_close",
+    })
+
     # --------------------------------------------------------------- dispatch
     async def _dispatch(self, op: str, request: dict, trace=None) -> dict:
+        if self._draining and op not in self._DRAIN_SAFE_OPS:
+            raise ServiceError("server is draining; retry against another "
+                               "instance", code="draining")
         if op == "health":
             return self._op_health()
         if op == "stats":
@@ -670,13 +731,16 @@ class InferenceServer:
                 self._session_locks.pop(sid, None)
 
     def _op_health(self) -> dict:
-        return {
-            "status": "ok",
+        payload = {
+            "status": "draining" if self._draining else "ok",
             # Same clock as stats.uptime_s (the metrics clock), so the
             # two endpoints cannot disagree after a stats_reset.
             "uptime_s": self.metrics.uptime_s(),
             "models": list(self.registry.loaded()),
         }
+        if self.worker_id is not None:
+            payload["worker_id"] = self.worker_id
+        return payload
 
     def _op_stats(self) -> dict:
         snapshot = self.metrics.snapshot()
@@ -687,6 +751,8 @@ class InferenceServer:
         }
         snapshot["sessions"]["table"] = self.sessions.stats()
         snapshot["tracing"] = self.tracer.stats()
+        if self.worker_id is not None:
+            snapshot["worker_id"] = self.worker_id
         return snapshot
 
     def _op_metrics(self) -> dict:
@@ -730,7 +796,8 @@ class InferenceServer:
 
 
 async def run_server(host: str, port: int, *, preload=(),
-                     on_ready=None, **options) -> None:
+                     on_ready=None, drain_timeout_s: float = 30.0,
+                     **options) -> None:
     """Start a server and serve until cancelled (the ``fastbni serve`` body).
 
     Exception-safe from construction to stop: constructing the server
@@ -739,15 +806,53 @@ async def run_server(host: str, port: int, *, preload=(),
     ``start`` (port already bound) must still tear everything down —
     otherwise every failed launch leaks non-daemon threads and resident
     compiled models.  The original exception propagates to the caller.
+
+    SIGTERM/SIGINT trigger a graceful drain (stop accepting, reject new
+    work with ``error.code == "draining"``, finish in-flight up to
+    ``drain_timeout_s``, flush the batcher, close sessions/registry)
+    instead of abandoning in-flight futures — this is what lets the
+    cluster supervisor restart workers without failing the requests they
+    were holding.  Handler installation is best-effort: event loops in
+    non-main threads (the test harness) cannot install signal handlers,
+    and there the caller cancels the task instead.
     """
+    import signal
+
     server = InferenceServer(host, port, **options)
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[int] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop_requested.set)
+            installed.append(signum)
+        except (ValueError, NotImplementedError, RuntimeError,
+                AttributeError):  # pragma: no cover - platform dependent
+            break
     try:
         server.preload(preload)
         await server.start()
         if on_ready is not None:
             on_ready(server)
-        await server.serve_forever()
+        serve = asyncio.ensure_future(server.serve_forever())
+        stopper = asyncio.ensure_future(stop_requested.wait())
+        try:
+            await asyncio.wait({serve, stopper},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in (serve, stopper):
+                task.cancel()
+            await asyncio.gather(serve, stopper, return_exceptions=True)
+        if stop_requested.is_set():
+            await server.drain(drain_timeout_s)
+        elif serve.done() and not serve.cancelled() and serve.exception():
+            raise serve.exception()
     except asyncio.CancelledError:
         pass
     finally:
+        for signum in installed:
+            try:
+                loop.remove_signal_handler(signum)
+            except (ValueError, RuntimeError):  # pragma: no cover
+                pass
         await server.stop()

@@ -15,7 +15,7 @@ class TestParser:
             "table1", "scaling", "granularity", "root", "primitives",
             "overhead", "heuristics", "frontier", "incremental", "execbench",
             "sessions", "obsbench", "info", "query", "serve", "client",
-            "trace",
+            "trace", "cluster", "clusterbench",
         }
 
     def test_requires_subcommand(self):

@@ -298,6 +298,90 @@ class TestPrometheusRender:
         assert "fastbni_traces_sampled_total 1" in text
 
 
+class TestClusterPrometheusRender:
+    """The router's exposition: aggregate families + a worker dimension."""
+
+    def _worker_snapshot(self, total: int, open_sessions: int = 0):
+        m = ServiceMetrics()
+        for _ in range(total):
+            m.observe_request("query", 0.002)
+        snap = m.snapshot()
+        snap["sessions"]["open"] = open_sessions
+        return snap
+
+    def test_worker_label_carries_each_workers_own_counters(self):
+        from repro.obs import render_cluster_prometheus
+        from repro.service.metrics import aggregate_snapshots
+
+        workers = {"w0": self._worker_snapshot(3, open_sessions=2),
+                   "w1": self._worker_snapshot(5)}
+        aggregate = aggregate_snapshots(list(workers.values()))
+        text = render_cluster_prometheus(aggregate, workers)
+        # aggregate families stay unlabelled (existing dashboards)
+        assert "fastbni_requests_total 8" in text
+        # per-worker series carry exactly that worker's numbers
+        assert 'fastbni_worker_requests_total{worker="w0"} 3' in text
+        assert 'fastbni_worker_requests_total{worker="w1"} 5' in text
+        assert 'fastbni_worker_sessions_open{worker="w0"} 2' in text
+        assert 'fastbni_worker_sessions_open{worker="w1"} 0' in text
+        assert 'fastbni_worker_up{worker="w0"} 1' in text
+
+    def test_dead_worker_renders_up_zero_not_stale_counters(self):
+        from repro.obs import render_cluster_prometheus
+        from repro.service.metrics import aggregate_snapshots
+
+        workers = {"w0": self._worker_snapshot(4), "w1": None}
+        aggregate = aggregate_snapshots(
+            [s for s in workers.values() if s])
+        text = render_cluster_prometheus(aggregate, workers)
+        assert 'fastbni_worker_up{worker="w0"} 1' in text
+        assert 'fastbni_worker_up{worker="w1"} 0' in text
+        assert 'fastbni_worker_requests_total{worker="w1"} 0' in text
+
+    def test_latency_p99_exposed_in_seconds(self):
+        from repro.obs import render_cluster_prometheus
+        from repro.service.metrics import aggregate_snapshots
+
+        m = ServiceMetrics()
+        for _ in range(100):
+            m.observe_request("query", 0.050)  # 50 ms
+        workers = {"w0": m.snapshot()}
+        text = render_cluster_prometheus(
+            aggregate_snapshots(list(workers.values())), workers)
+        line = next(l for l in text.splitlines()
+                    if l.startswith("fastbni_worker_latency_p99_seconds"))
+        assert float(line.split()[-1]) == pytest.approx(0.050, rel=0.2)
+
+    def test_router_section_adds_cluster_gauges(self):
+        from repro.obs import render_cluster_prometheus
+        from repro.service.metrics import aggregate_snapshots
+
+        workers = {"w0": self._worker_snapshot(1),
+                   "w1": self._worker_snapshot(1)}
+        router = {"workers": 2, "healthy": 1, "restarts": 3,
+                  "ejections": 2, "overloaded": 7, "sticky_sessions": 4,
+                  "inflight": {"w0": 5, "w1": 0}}
+        text = render_cluster_prometheus(
+            aggregate_snapshots(list(workers.values())), workers, router)
+        assert "fastbni_cluster_workers 2" in text
+        assert "fastbni_cluster_workers_healthy 1" in text
+        assert "fastbni_cluster_restarts_total 3" in text
+        assert "fastbni_cluster_ejections_total 2" in text
+        assert "fastbni_cluster_overloaded_total 7" in text
+        assert "fastbni_cluster_sticky_sessions 4" in text
+        assert 'fastbni_worker_inflight{worker="w0"} 5' in text
+
+    def test_router_section_optional(self):
+        from repro.obs import render_cluster_prometheus
+        from repro.service.metrics import aggregate_snapshots
+
+        workers = {"w0": self._worker_snapshot(1)}
+        text = render_cluster_prometheus(
+            aggregate_snapshots(list(workers.values())), workers)
+        assert "fastbni_cluster_workers" not in text
+        assert 'fastbni_worker_up{worker="w0"} 1' in text
+
+
 # ------------------------------------------------------------- wire-level ops
 async def _pipelined(port: int, requests: list[dict]) -> list[dict]:
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
