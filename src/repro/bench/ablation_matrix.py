@@ -1,0 +1,343 @@
+"""Service-level ablation matrix: does every component earn its keep?
+
+The stack has accumulated load-bearing machinery — fused kernels, the
+two-tier cache, batcher coalescing, planner routing, warm session
+deltas.  Each landed with its own benchmark, but nothing proves they
+still pull their weight *together* under mixed traffic, and nothing
+catches a PR that quietly erases one contribution while the others mask
+the regression.  This harness is that proof:
+
+* one seeded :class:`~repro.bench.traffic.TrafficTrace` (or a recorded
+  one) is replayed against a **baseline** server and one
+  **component-off** variant per entry in :data:`COMPONENTS` — the same
+  requests, byte for byte;
+* every server lives simultaneously in one event loop and replay slices
+  alternate between them with order reversing per round (the
+  counterbalancing discipline from :mod:`repro.bench.obs`), so an
+  external CPU burst cannot elect a winner;
+* round 1 is **included** in the timing: a component whose value is
+  avoiding cold costs (the planner routing a dense network away from an
+  exact compile) earns its contribution there, and warm rounds then
+  measure the steady state.  Process-global cold costs (imports, numpy
+  warm-up, page cache) are burned off first by one throwaway slice
+  against a scratch server that is never measured, so they cannot tax
+  whichever measured slice runs first;
+* answers for deterministic events (``check=True``: explicit-exact
+  queries, session reads) must agree with the baseline to ≤1e-9 —
+  turning a component off may change *when* work happens, never *what*
+  the service answers;
+* the report ranks components by throughput contribution:
+  ``rps_ratio`` is the **mean of per-round paired ratios**
+  (``variant_round_elapsed / baseline_round_elapsed``), so slow machine
+  drift between rounds cancels inside each pair while round 1's cold
+  costs keep their honest 1/repeats weight; 1.30 reads "removing this
+  costs 30% throughput on this traffic".
+
+``fastbni ablate`` writes ``BENCH_ablation.json``;
+``tools/check_bench.py --ablation`` gates it in CI against the
+committed report so an erased contribution fails the build.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.traffic import (TrafficTrace, generate_trace,
+                                 replay_trace_async)
+from repro.errors import QueryError
+
+SCHEMA = "fastbni-bench-ablation-v1"
+
+#: Components under ablation: name -> (what the switch does, the server
+#: kwargs that turn the component OFF).  Baseline gets none of these.
+COMPONENTS: dict[str, dict] = {
+    "fused_kernels": {
+        "description": "flat-arena fused kernel backend (off = numpy "
+                       "reference kernels)",
+        "off": {"kernels": "numpy"},
+    },
+    "cache": {
+        "description": "two-tier incremental cache: calibrated-state LRU "
+                       "+ result memo (off = every query recalibrates)",
+        "off": {"cache": False},
+    },
+    "batcher": {
+        "description": "micro-batch coalescing of concurrent queries "
+                       "(off = max_batch=1, every query its own flush)",
+        "off": {"max_batch": 1},
+    },
+    "planner": {
+        "description": "exact/approx cost routing (off = policy='exact', "
+                       "dense networks pay full compiles)",
+        "off": {"policy": "exact"},
+    },
+    "sessions_warm": {
+        "description": "warm per-session incremental deltas (off = every "
+                       "session op rebuilds state from scratch)",
+        "off": {"session_cold": True},
+    },
+}
+
+DEFAULT_REPEATS = 3
+DEFAULT_CONCURRENCY = 8
+#: Dense networks must overflow this so baseline auto-routing sends them
+#: to sampling while the planner-off variant pays the exact compile.
+DEFAULT_MAX_EXACT_BYTES = 2 * 1024 * 1024
+#: Shared server posture (identical across all variants).
+BASE_SERVER = {"max_batch": 32, "max_wait_ms": 2.0}
+
+AGREEMENT_TOLERANCE = 1e-9
+
+
+# ------------------------------------------------------------------ answers
+def _answer_diff(base: dict, other: dict) -> float:
+    """Max abs difference between two answer payloads (inf on shape
+    mismatch — a missing target is a disagreement, not a pass)."""
+    worst = 0.0
+    base_post = base.get("posteriors") or {}
+    other_post = other.get("posteriors") or {}
+    if set(base_post) != set(other_post):
+        return float("inf")
+    for var, dist in base_post.items():
+        a = np.asarray(dist, dtype=float)
+        b = np.asarray(other_post[var], dtype=float)
+        if a.shape != b.shape:
+            return float("inf")
+        worst = max(worst, float(np.max(np.abs(a - b))) if a.size else 0.0)
+    le_a, le_b = base.get("log_evidence"), other.get("log_evidence")
+    if (le_a is None) != (le_b is None):
+        return float("inf")
+    if le_a is not None:
+        worst = max(worst, abs(float(le_a) - float(le_b)))
+    return worst
+
+
+def _agreement(baseline_answers: dict[int, dict],
+               variant_answers: dict[int, dict]) -> dict:
+    """Compare deterministic answers event-by-event against baseline."""
+    shared = sorted(set(baseline_answers) & set(variant_answers))
+    missing = len(set(baseline_answers) ^ set(variant_answers))
+    worst = 0.0
+    mismatched = 0
+    for idx in shared:
+        diff = _answer_diff(baseline_answers[idx], variant_answers[idx])
+        worst = max(worst, diff)
+        if diff > AGREEMENT_TOLERANCE:
+            mismatched += 1
+    return {
+        "checked": len(shared),
+        "missing": missing,
+        "mismatched": mismatched,
+        "max_abs_diff": worst if shared else float("inf"),
+    }
+
+
+# -------------------------------------------------------------------- sweep
+async def _sweep(trace: TrafficTrace, components: list[str], *,
+                 repeats: int, concurrency: int,
+                 max_exact_bytes: int) -> dict[str, dict]:
+    """All variants live at once; counterbalanced replay rounds.
+
+    Returns per-variant ``{"rounds": [ReplayResult summary…],
+    "latencies": [...], "answers": {...}, "errors": n}``.
+    """
+    from repro.service import InferenceServer
+
+    nets = trace.build_networks()
+    variants = {"baseline": {}}
+    for name in components:
+        variants[name] = dict(COMPONENTS[name]["off"])
+
+    servers: dict[str, object] = {}
+    results: dict[str, dict] = {}
+    try:
+        for name, off_kwargs in variants.items():
+            kwargs = {**BASE_SERVER, "max_exact_bytes": max_exact_bytes,
+                      **off_kwargs}
+            server = InferenceServer(port=0, **kwargs)
+            for net_name, net in nets.items():
+                server.registry.register(net_name, net)
+            await server.start()
+            servers[name] = server
+            results[name] = {"elapsed": [], "requests": 0,
+                             "latencies": [], "answers": {}, "errors": 0}
+
+        # One throwaway slice against a scratch server (baseline config,
+        # never measured) warms process-globals — imports, numpy, thread
+        # pools, OS page cache — that would otherwise all land on
+        # whichever measured slice happens to run first.  Measured
+        # servers stay cold: round 1 still pays every per-variant cost
+        # (compiles, first calibrations), which is part of what some
+        # components exist to avoid.
+        scratch = InferenceServer(port=0, **BASE_SERVER,
+                                  max_exact_bytes=max_exact_bytes)
+        for net_name, net in nets.items():
+            scratch.registry.register(net_name, net)
+        await scratch.start()
+        try:
+            await replay_trace_async(trace, "127.0.0.1", scratch.port,
+                                     concurrency=concurrency)
+        finally:
+            await scratch.stop()
+
+        for round_i in range(repeats):
+            order = list(variants)
+            if round_i % 2:
+                order.reverse()
+            for name in order:
+                gc.collect()
+                replay = await replay_trace_async(
+                    trace, "127.0.0.1", servers[name].port,
+                    concurrency=concurrency)
+                slot = results[name]
+                slot["elapsed"].append(replay.elapsed_s)
+                slot["requests"] += replay.requests
+                slot["latencies"].extend(replay.latencies_ms)
+                slot["errors"] += len(replay.errors)
+                # Deterministic answers are round-independent; keep the
+                # last round's (warm everywhere, including the memo).
+                slot["answers"] = replay.answers
+        return results
+    finally:
+        for server in servers.values():
+            await server.stop()
+
+
+def run_ablation(trace: TrafficTrace | None = None, *,
+                 components: list[str] | None = None,
+                 seed: int = 2023, requests: int = 240,
+                 network: str = "asia",
+                 session_network: str | None = None,
+                 repeats: int = DEFAULT_REPEATS,
+                 concurrency: int = DEFAULT_CONCURRENCY,
+                 max_exact_bytes: int = DEFAULT_MAX_EXACT_BYTES,
+                 trace_kwargs: dict | None = None) -> dict:
+    """Run the matrix; returns the JSON-ready ranked report.
+
+    ``trace=None`` generates the default mixed trace from ``seed`` /
+    ``requests``; pass a loaded/recorded trace to score real traffic.
+    ``components`` defaults to the full :data:`COMPONENTS` matrix.
+    """
+    if components is None:
+        components = list(COMPONENTS)
+    unknown = [c for c in components if c not in COMPONENTS]
+    if unknown:
+        raise QueryError(
+            f"unknown ablation components {unknown}; "
+            f"known: {sorted(COMPONENTS)}")
+    generated = trace is None
+    if trace is None:
+        trace = generate_trace(seed=seed, requests=requests,
+                               network=network,
+                               session_network=session_network,
+                               **(trace_kwargs or {}))
+
+    results = asyncio.run(_sweep(trace, components, repeats=repeats,
+                                 concurrency=concurrency,
+                                 max_exact_bytes=max_exact_bytes))
+
+    def summarize(slot: dict) -> dict:
+        total = sum(slot["elapsed"])
+        lat = np.asarray(slot["latencies"], dtype=float)
+        return {
+            "requests": slot["requests"],
+            "elapsed_s": total,
+            "rps": slot["requests"] / total if total > 0 else 0.0,
+            "p50_ms": float(np.quantile(lat, 0.50)) if lat.size else 0.0,
+            "p99_ms": float(np.quantile(lat, 0.99)) if lat.size else 0.0,
+            "errors": slot["errors"],
+            "round_elapsed_s": [round(e, 4) for e in slot["elapsed"]],
+        }
+
+    baseline = summarize(results["baseline"])
+    baseline_answers = results["baseline"]["answers"]
+
+    rows = []
+    for name in components:
+        slot = results[name]
+        row = summarize(slot)
+        row["component"] = name
+        row["description"] = COMPONENTS[name]["description"]
+        row["off_kwargs"] = COMPONENTS[name]["off"]
+        # Paired per-round ratios: both slices of a pair ran within the
+        # same round, so machine drift across the sweep cancels; the
+        # mean (not median) keeps round 1's cold costs at 1/repeats
+        # weight — avoided cold work is part of a contribution.
+        pairs = [v / b for v, b in zip(slot["elapsed"],
+                                       results["baseline"]["elapsed"])
+                 if b > 0]
+        row["round_ratios"] = [round(r, 4) for r in pairs]
+        row["rps_ratio"] = (float(np.mean(pairs)) if pairs
+                            else float("inf"))
+        row["p50_ratio"] = (row["p50_ms"] / baseline["p50_ms"]
+                            if baseline["p50_ms"] > 0 else float("inf"))
+        row["p99_ratio"] = (row["p99_ms"] / baseline["p99_ms"]
+                            if baseline["p99_ms"] > 0 else float("inf"))
+        row["agreement"] = _agreement(baseline_answers, slot["answers"])
+        rows.append(row)
+    rows.sort(key=lambda r: -r["rps_ratio"])
+    for rank, row in enumerate(rows, start=1):
+        row["rank"] = rank
+
+    return {
+        "schema": SCHEMA,
+        "seed": trace.seed,
+        "config": {
+            "repeats": repeats,
+            "concurrency": concurrency,
+            "max_exact_bytes": max_exact_bytes,
+            "server": dict(BASE_SERVER),
+            "components": list(components),
+            "generated_trace": generated,
+        },
+        "trace": {
+            "events": len(trace.events),
+            "checked_events": sum(1 for e in trace.events
+                                  if e.get("check")),
+            "mix_counts": trace.mix_counts(),
+            "networks": trace.networks,
+            "trace_config": trace.config,
+        },
+        "baseline": baseline,
+        "components": rows,
+    }
+
+
+# -------------------------------------------------------------------- report
+def render_ablation(report: dict) -> str:
+    base = report["baseline"]
+    lines = [
+        f"ablation matrix  schema={report['schema']}  "
+        f"seed={report['seed']}  events={report['trace']['events']}  "
+        f"repeats={report['config']['repeats']}",
+        f"  baseline: {base['rps']:8.1f} req/s   "
+        f"p50 {base['p50_ms']:7.2f} ms   p99 {base['p99_ms']:8.2f} ms",
+        "",
+        f"  {'rank':<5}{'component':<15}{'req/s':>9}{'x-off':>8}"
+        f"{'p50 ms':>9}{'p99 ms':>10}{'agree<=1e-9':>13}",
+    ]
+    for row in report["components"]:
+        agree = row["agreement"]
+        ok = (agree["mismatched"] == 0 and agree["checked"] > 0
+              and agree["max_abs_diff"] <= AGREEMENT_TOLERANCE)
+        lines.append(
+            f"  {row['rank']:<5}{row['component']:<15}"
+            f"{row['rps']:>9.1f}{row['rps_ratio']:>7.2f}x"
+            f"{row['p50_ms']:>9.2f}{row['p99_ms']:>10.2f}"
+            f"{'yes' if ok else 'NO':>13}")
+    lines.append("")
+    lines.append("  x-off = mean per-round (component-off elapsed / "
+                 "baseline elapsed): the component's contribution")
+    return "\n".join(lines)
+
+
+def write_ablation(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -377,6 +377,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             max_sessions=args.max_sessions,
             session_ttl_s=args.session_ttl,
             session_max_bytes=int(args.session_mb * 1024 * 1024),
+            session_cold=args.sessions == "cold",
             trace_sample_rate=args.trace_sample_rate,
             trace_buffer=args.trace_buffer,
             trace_slow_ms=args.trace_slow_ms,
@@ -502,6 +503,145 @@ def _cmd_obsbench(args: argparse.Namespace) -> None:
     print(render_obs(report))
     if args.out:
         write_obs(report, Path(args.out))
+        print(f"wrote {args.out}")
+
+
+def _parse_mix_arg(raw: str) -> dict | None:
+    """Parse ``zipf=0.4,burst=0.2,...`` into a mix dict (None if empty)."""
+    if not raw:
+        return None
+    mix: dict[str, float] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise SystemExit(f"error: bad mix entry {part!r}; "
+                             "expected stream=fraction")
+        key, _, value = part.partition("=")
+        try:
+            mix[key.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: bad mix fraction {value!r}") from None
+    return mix or None
+
+
+def _parse_dense_arg(raw: str, seed: int) -> dict | None:
+    """Parse ``ROWSxCOLS[xCARD]`` into a grid dense_spec (None if empty)."""
+    if not raw:
+        return None
+    parts = raw.lower().split("x")
+    if len(parts) not in (2, 3) or not all(p.strip().isdigit()
+                                           for p in parts):
+        raise SystemExit(f"error: bad dense grid {raw!r}; "
+                         "expected ROWSxCOLS or ROWSxCOLSxCARD")
+    rows, cols = int(parts[0]), int(parts[1])
+    card = int(parts[2]) if len(parts) == 3 else 2
+    return {"kind": "grid", "rows": rows, "cols": cols, "card": card,
+            "seed": seed}
+
+
+def _trace_kwargs(args: argparse.Namespace) -> dict:
+    """Generator overrides shared by ``workload`` and ``ablate``."""
+    kwargs: dict = {}
+    mix = _parse_mix_arg(args.mix)
+    if mix:
+        kwargs["mix"] = mix
+    if args.zipf_network:
+        kwargs["zipf_network"] = args.zipf_network
+    dense = _parse_dense_arg(args.dense_grid, args.seed)
+    if dense:
+        kwargs["dense_spec"] = dense
+    if args.dense_observed >= 0:
+        kwargs["dense_observed_fraction"] = args.dense_observed
+    return kwargs
+
+
+def _cmd_workload(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.bench.traffic import (TrafficRecorder, generate_trace,
+                                     load_trace, render_trace, replay_trace,
+                                     save_trace)
+
+    if args.record:
+        async def record() -> None:
+            recorder = TrafficRecorder(args.host, args.port,
+                                       port=args.listen_port)
+            await recorder.start()
+            print(f"recording {args.host}:{args.port} via proxy port "
+                  f"{recorder.port} for {args.duration:.0f}s", flush=True)
+            try:
+                await asyncio.sleep(args.duration)
+            finally:
+                await recorder.stop()
+            trace = recorder.trace(seed=args.seed)
+            print(render_trace(trace))
+            if args.out:
+                save_trace(trace, args.out)
+                print(f"wrote {args.out}")
+
+        try:
+            asyncio.run(record())
+        except KeyboardInterrupt:
+            pass
+        return
+
+    if args.replay:
+        trace = load_trace(args.replay)
+        print(render_trace(trace))
+        result = replay_trace(trace, args.host, args.port,
+                              concurrency=args.concurrency, pace=args.pace)
+        summary = result.summary()
+        print(f"replayed {summary['requests']} requests in "
+              f"{summary['elapsed_s']:.2f}s: {summary['rps']:.1f} req/s, "
+              f"p50 {summary['p50_ms']:.2f} ms, "
+              f"p99 {summary['p99_ms']:.2f} ms, "
+              f"errors {summary['errors']}")
+        if summary["errors"]:
+            for idx, error in result.errors[:10]:
+                print(f"  event {idx}: {error}")
+            raise SystemExit(1)
+        return
+
+    trace = generate_trace(seed=args.seed, requests=args.requests,
+                           network=args.network,
+                           session_network=args.session_network or None,
+                           **_trace_kwargs(args))
+    print(render_trace(trace))
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"wrote {args.out}")
+
+
+def _cmd_ablate(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.bench.ablation_matrix import (COMPONENTS, render_ablation,
+                                             run_ablation, write_ablation)
+    from repro.bench.traffic import load_trace
+
+    components = ([c.strip() for c in args.components.split(",") if c.strip()]
+                  if args.components else None)
+    if components:
+        unknown = [c for c in components if c not in COMPONENTS]
+        if unknown:
+            raise SystemExit(f"error: unknown components {unknown}; "
+                             f"known: {sorted(COMPONENTS)}")
+    trace = load_trace(args.trace) if args.trace else None
+    kwargs = _trace_kwargs(args)
+    report = run_ablation(
+        trace,
+        components=components,
+        seed=args.seed, requests=args.requests,
+        network=args.network,
+        session_network=args.session_network or None,
+        repeats=args.repeats, concurrency=args.concurrency,
+        max_exact_bytes=int(args.max_exact_mb * 1024 * 1024),
+        trace_kwargs=kwargs or None)
+    print(render_ablation(report))
+    if args.out:
+        write_ablation(report, Path(args.out))
         print(f"wrote {args.out}")
 
 
@@ -787,6 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--session-mb", type=float, default=64.0,
                     help="total session byte budget (sessions also charge "
                          "their model's entry against --max-mb)")
+    sv.add_argument("--sessions", default="warm", choices=("warm", "cold"),
+                    help="'cold' disables warm per-session deltas: every "
+                         "session op rebuilds state from scratch (the "
+                         "ablation kill-switch; default: warm)")
     sv.add_argument("--trace-sample-rate", type=float, default=0.0,
                     help="fraction of requests carrying a full span trace "
                          "(deterministic every-Nth sampling; 0 = off, "
@@ -934,6 +1078,93 @@ def build_parser() -> argparse.ArgumentParser:
     cb.add_argument("--out", default="BENCH_cluster.json",
                     help="output JSON path ('' to skip writing)")
     cb.set_defaults(func=_cmd_clusterbench)
+
+    wl = sub.add_parser("workload",
+                        help="traffic traces: generate a seeded mixed "
+                             "workload, record live traffic through a "
+                             "proxy, or replay a trace against a server")
+    wl.add_argument("--seed", type=int, default=2023)
+    wl.add_argument("--requests", type=int, default=240,
+                    help="event budget for a generated trace")
+    wl.add_argument("--network", default="asia",
+                    help="primary network for zipf/burst/approx streams")
+    wl.add_argument("--zipf-network", default="",
+                    help="network for the hot zipf stream "
+                         "(default: --network)")
+    wl.add_argument("--session-network", default="",
+                    help="network for session walks (default: --network)")
+    wl.add_argument("--dense-grid", default="",
+                    help="dense-stream grid as ROWSxCOLS[xCARD], e.g. "
+                         "12x12 (default: 10x10x2)")
+    wl.add_argument("--dense-observed", type=float, default=-1.0,
+                    help="observed-variable fraction for dense cases "
+                         "(default: the trace-wide fraction)")
+    wl.add_argument("--mix", default="",
+                    help="stream mix, e.g. zipf=0.4,burst=0.15,dense=0.15,"
+                         "approx=0.1,session=0.2 (default: built-in mix)")
+    wl.add_argument("--out", default="traffic.json",
+                    help="trace JSON path ('' to skip writing)")
+    wl.add_argument("--replay", default="",
+                    help="replay this trace file against --host/--port "
+                         "instead of generating")
+    wl.add_argument("--record", action="store_true",
+                    help="record live traffic: proxy --listen-port to "
+                         "--host/--port for --duration seconds")
+    wl.add_argument("--host", default="127.0.0.1")
+    wl.add_argument("--port", type=int, default=7421,
+                    help="server port (replay target / record upstream)")
+    wl.add_argument("--listen-port", type=int, default=0,
+                    help="recording proxy port (0 picks an ephemeral port)")
+    wl.add_argument("--duration", type=float, default=30.0,
+                    help="recording duration in seconds")
+    wl.add_argument("--concurrency", type=int, default=8,
+                    help="replay: concurrent closed-loop connections")
+    wl.add_argument("--pace", type=float, default=0.0,
+                    help="replay: honour recorded arrival times scaled by "
+                         "this factor (0 = closed loop, 1 = real time)")
+    wl.set_defaults(func=_cmd_workload)
+
+    ab = sub.add_parser("ablate",
+                        help="ablation matrix: replay one trace against a "
+                             "baseline server and one-component-off "
+                             "variants, rank contributions (writes "
+                             "BENCH_ablation.json)")
+    ab.add_argument("--trace", default="",
+                    help="traffic trace JSON to replay (default: generate "
+                         "from --seed/--requests)")
+    ab.add_argument("--seed", type=int, default=2023)
+    ab.add_argument("--requests", type=int, default=240,
+                    help="event budget for the generated trace")
+    ab.add_argument("--network", default="asia",
+                    help="primary network for the generated trace")
+    ab.add_argument("--zipf-network", default="",
+                    help="network for the hot zipf stream "
+                         "(default: --network)")
+    ab.add_argument("--session-network", default="",
+                    help="network for session walks (default: --network)")
+    ab.add_argument("--dense-grid", default="",
+                    help="dense-stream grid as ROWSxCOLS[xCARD], e.g. "
+                         "12x12 (default: 10x10x2)")
+    ab.add_argument("--dense-observed", type=float, default=-1.0,
+                    help="observed-variable fraction for dense cases "
+                         "(default: the trace-wide fraction)")
+    ab.add_argument("--mix", default="",
+                    help="stream mix for the generated trace "
+                         "(see 'fastbni workload --mix')")
+    ab.add_argument("--components", default="",
+                    help="comma-separated components to ablate "
+                         "(default: all)")
+    ab.add_argument("--repeats", type=int, default=3,
+                    help="counterbalanced replay rounds (round 1's cold "
+                         "costs are counted on purpose)")
+    ab.add_argument("--concurrency", type=int, default=8,
+                    help="concurrent closed-loop connections per replay")
+    ab.add_argument("--max-exact-mb", type=float, default=2.0,
+                    help="auto-routing byte threshold shared by every "
+                         "variant (dense trace networks should overflow it)")
+    ab.add_argument("--out", default="BENCH_ablation.json",
+                    help="output JSON path ('' to skip writing)")
+    ab.set_defaults(func=_cmd_ablate)
     return p
 
 

@@ -191,6 +191,7 @@ class InferenceServer:
                  max_sessions: int = DEFAULT_MAX_SESSIONS,
                  session_ttl_s: float = DEFAULT_IDLE_TTL_S,
                  session_max_bytes: int = DEFAULT_SESSION_BYTES,
+                 session_cold: bool = False,
                  tracer: Tracer | None = None,
                  trace_sample_rate: float = 0.0,
                  trace_buffer: int = DEFAULT_MAX_TRACES,
@@ -222,6 +223,7 @@ class InferenceServer:
                                        max_sessions=max_sessions,
                                        idle_ttl_s=session_ttl_s,
                                        max_bytes=session_max_bytes,
+                                       cold=session_cold,
                                        metrics=self.metrics)
         #: Per-session asyncio locks: pipelined updates on one session
         #: apply in arrival order (asyncio.Lock is FIFO) while distinct

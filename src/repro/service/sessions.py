@@ -117,6 +117,13 @@ class SessionManager:
         session's operations always serialize.
     clock:
         Injectable time source (tests drive TTL eviction explicitly).
+    cold:
+        Kill-switch for the warm delta path (the ablation harness's
+        ``sessions_warm`` component): every open builds a fresh engine
+        instead of cloning the cache-shared base state, and every
+        update/query rebuilds the session's state from scratch so each
+        read pays a full propagation.  Answers are identical; only the
+        incremental reuse is disabled.
     """
 
     def __init__(self, registry: ModelRegistry, *,
@@ -125,7 +132,8 @@ class SessionManager:
                  max_bytes: int = DEFAULT_MAX_BYTES,
                  metrics: ServiceMetrics | None = None,
                  workers: int = DEFAULT_WORKERS,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 cold: bool = False) -> None:
         if max_sessions < 1:
             raise QueryError(f"max_sessions must be >= 1, got {max_sessions}")
         self.registry = registry
@@ -133,6 +141,7 @@ class SessionManager:
         self.idle_ttl_s = idle_ttl_s
         self.max_bytes = max_bytes
         self.metrics = metrics
+        self.cold = cold
         self._clock = clock
         self._lock = threading.RLock()
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
@@ -223,6 +232,14 @@ class SessionManager:
         self.registry.enforce_budget()
 
     @staticmethod
+    def _cold_engine(entry: ModelEntry, evidence: dict | None):
+        """A from-scratch session state: no cache base, no valid messages."""
+        return IncrementalEngine(
+            entry.engine.tree,
+            getattr(entry.engine, "_batch_base_cliques", None),
+            evidence=dict(evidence or {}))
+
+    @staticmethod
     def _recomputed(engine) -> int:
         """Messages revalidated so far (the delta path's work counter)."""
         counters = getattr(engine, "counters", None)
@@ -257,13 +274,10 @@ class SessionManager:
                     f"sessions need an exact junction-tree engine but "
                     f"{network!r} is served by {entry.engine_kind!r} "
                     "(send engine='exact' to force an exact compile)")
-            if entry.cache is not None:
+            if entry.cache is not None and not self.cold:
                 state = entry.cache.session_state(evidence)
             else:
-                state = IncrementalEngine(
-                    entry.engine.tree,
-                    getattr(entry.engine, "_batch_base_cliques", None),
-                    evidence=dict(evidence or {}))
+                state = self._cold_engine(entry, evidence)
         except ReproError:
             self.registry.unpin(entry)
             raise
@@ -318,6 +332,11 @@ class SessionManager:
                             f"cannot retract unknown variable {name!r}")
                     new_evidence.pop(name, None)
                 new_evidence.update(evidence or {})
+            if self.cold:
+                # Kill-switch: discard the calibrated state so this edit
+                # (and any posterior read below) pays a full propagation.
+                engine = session.engine = self._cold_engine(
+                    session.entry, None)
             delta = engine.update(new_evidence)
             session.updates += 1
             payload = {
@@ -361,6 +380,9 @@ class SessionManager:
         session = self._checkout(session_id)
         with session.lock:
             engine = session.engine
+            if self.cold:
+                engine = session.engine = self._cold_engine(
+                    session.entry, dict(engine.evidence))
             span = (trace.start_span("session_query")
                     if trace is not None else None)
             recomputed_before = self._recomputed(engine)

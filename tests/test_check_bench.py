@@ -1,0 +1,439 @@
+"""Direct unit tests for every ``tools/check_bench.py`` gate mode.
+
+check_bench guards CI: if *it* silently breaks, every bench regression
+sails through.  These tests exercise each gate (exec, sessions, obs,
+cluster, ablation) against synthetic reports on both the pass and the
+fail path, plus ``main()``'s wiring (flag routing, exit codes, the
+``--fresh ''`` skip).  The script lives in tools/, outside the package,
+so it is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def cb():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "tools" / "check_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ----------------------------------------------------------- exec fixtures
+def exec_report(ms: float = 1.0, speedup: float = 1.5,
+                diff: float = 1e-12) -> dict:
+    return {
+        "schema": "exec-schema",
+        "rows": [
+            {"path": "batched", "kernels": "fused", "ms_per_case": ms},
+            {"path": "batched", "kernels": "numpy", "ms_per_case": 2 * ms},
+            {"path": "single", "kernels": "fused", "ms_per_case": 3 * ms},
+        ],
+        "single_case": {"speedup_fused": speedup},
+        "max_abs_diff": diff,
+    }
+
+
+class TestExecCheck:
+    def test_identical_reports_pass(self, cb):
+        assert cb.check(exec_report(), exec_report(), 0.25, 1.2,
+                        absolute=False) == []
+
+    def test_uniform_slowdown_passes_normalised(self, cb):
+        """A uniformly slower machine is not a regression."""
+        assert cb.check(exec_report(ms=3.0), exec_report(ms=1.0),
+                        0.25, 1.2, absolute=False) == []
+
+    def test_uniform_slowdown_fails_absolute(self, cb):
+        failures = cb.check(exec_report(ms=3.0), exec_report(ms=1.0),
+                            0.25, 1.2, absolute=True)
+        assert len(failures) == 3
+
+    def test_single_row_regression_fails(self, cb):
+        fresh = exec_report()
+        fresh["rows"][0]["ms_per_case"] = 10.0
+        failures = cb.check(fresh, exec_report(), 0.25, 1.2, absolute=False)
+        assert len(failures) == 1
+        assert "batched/fused" in failures[0]
+
+    def test_speedup_floor(self, cb):
+        failures = cb.check(exec_report(speedup=1.05), exec_report(),
+                            0.25, 1.2, absolute=False)
+        assert any("fell below" in f for f in failures)
+
+    def test_kernel_divergence_fails(self, cb):
+        failures = cb.check(exec_report(diff=1e-6), exec_report(),
+                            0.25, 1.2, absolute=False)
+        assert any("diverge" in f for f in failures)
+
+    def test_no_shared_rows(self, cb):
+        fresh = exec_report()
+        fresh["rows"] = [{"path": "other", "kernels": "fused",
+                          "ms_per_case": 1.0}]
+        failures = cb.check(fresh, exec_report(), 0.25, 1.2, absolute=False)
+        assert failures == ["no comparable rows between fresh and baseline "
+                            "reports"]
+
+
+# -------------------------------------------------------- sessions fixtures
+def sessions_report(speedup: float = 6.0, diff: float = 1e-13) -> dict:
+    return {
+        "schema": "fastbni-bench-sessions-v1",
+        "rows": [
+            {"overlap": 0.5, "speedup": 2.0, "max_abs_diff": diff},
+            {"overlap": 0.75, "speedup": speedup, "max_abs_diff": diff},
+        ],
+    }
+
+
+class TestSessionsCheck:
+    def test_pass(self, cb):
+        assert cb.check_sessions(sessions_report(), 5.0) == []
+
+    def test_wrong_schema(self, cb):
+        failures = cb.check_sessions({"schema": "nope"}, 5.0)
+        assert failures and "schema mismatch" in failures[0]
+
+    def test_headline_speedup_floor(self, cb):
+        failures = cb.check_sessions(sessions_report(speedup=3.0), 5.0)
+        assert any("below" in f for f in failures)
+
+    def test_missing_headline_row(self, cb):
+        report = sessions_report()
+        report["rows"] = [report["rows"][0]]
+        failures = cb.check_sessions(report, 5.0)
+        assert any("no 0.75-overlap" in f for f in failures)
+
+    def test_divergence_fails_every_row(self, cb):
+        failures = cb.check_sessions(sessions_report(diff=1e-9), 5.0)
+        assert len(failures) == 2
+
+
+# ------------------------------------------------------------- obs fixtures
+def obs_report(off: float = 1.0, sampled: float = 5.0,
+               traces: int = 100, slow: int = 10,
+               executed: int = 50, spans=None) -> dict:
+    if spans is None:
+        spans = sorted(cb_required_spans())
+    return {
+        "schema": "fastbni-bench-obs-v1",
+        "modes": {
+            "off": {"overhead_pct": off},
+            "sampled_1pct": {"overhead_pct": sampled},
+            "full": {"overhead_pct": 30.0,
+                     "tracing": {"traces_sampled": traces,
+                                 "slow_queries": slow}},
+        },
+        "witness": {"executed_traces": executed, "span_names": spans},
+    }
+
+
+def cb_required_spans():
+    return {"request", "parse", "registry_lookup", "queue_wait",
+            "cache_lookup", "execute", "serialize"}
+
+
+class TestObsCheck:
+    def test_pass(self, cb):
+        assert cb.check_obs(obs_report(), 2.0, 10.0) == []
+
+    def test_wrong_schema(self, cb):
+        failures = cb.check_obs({"schema": "nope"}, 2.0, 10.0)
+        assert failures and "schema mismatch" in failures[0]
+
+    def test_off_budget(self, cb):
+        failures = cb.check_obs(obs_report(off=3.5), 2.0, 10.0)
+        assert any("(off)" in f for f in failures)
+
+    def test_sampled_budget(self, cb):
+        failures = cb.check_obs(obs_report(sampled=15.0), 2.0, 10.0)
+        assert any("sampled_1pct" in f for f in failures)
+
+    def test_no_traces_sampled(self, cb):
+        failures = cb.check_obs(obs_report(traces=0), 2.0, 10.0)
+        assert any("sampled no traces" in f for f in failures)
+
+    def test_no_slow_log_entries(self, cb):
+        failures = cb.check_obs(obs_report(slow=0), 2.0, 10.0)
+        assert any("slow-log" in f for f in failures)
+
+    def test_witness_span_coverage(self, cb):
+        failures = cb.check_obs(obs_report(spans=["request", "parse"]),
+                                2.0, 10.0)
+        assert any("lack stage spans" in f for f in failures)
+
+    def test_no_executed_traces(self, cb):
+        failures = cb.check_obs(obs_report(executed=0), 2.0, 10.0)
+        assert any("no engine-executing traces" in f for f in failures)
+
+
+# --------------------------------------------------------- cluster fixtures
+def cluster_report(speedup: float = 2.5, workers: int = 4, cores: int = 8,
+                   diff: float = 1e-12, cases: int = 40) -> dict:
+    return {
+        "schema": "fastbni-bench-cluster-v1",
+        "config": {"workers": workers},
+        "cpu_cores": cores,
+        "speedup": speedup,
+        "same_answer": {"max_abs_diff": diff, "cases": cases},
+    }
+
+
+class TestClusterCheck:
+    def test_pass(self, cb):
+        assert cb.check_cluster(cluster_report()) == []
+
+    def test_wrong_schema(self, cb):
+        failures = cb.check_cluster({"schema": "nope"})
+        assert failures and "schema mismatch" in failures[0]
+
+    def test_floor_scales_with_machine(self, cb):
+        assert cb.cluster_floor(4, 2) == pytest.approx(0.75)
+        assert cb.cluster_floor(4, 8) == pytest.approx(2.4)
+        assert cb.cluster_floor(8, 16) == pytest.approx(3.0)
+
+    def test_small_box_tolerates_no_speedup(self, cb):
+        assert cb.check_cluster(cluster_report(speedup=0.9, cores=2)) == []
+
+    def test_speedup_floor_fails(self, cb):
+        failures = cb.check_cluster(cluster_report(speedup=1.2))
+        assert any("machine-aware" in f for f in failures)
+
+    def test_answer_divergence_fails(self, cb):
+        failures = cb.check_cluster(cluster_report(diff=1e-6))
+        assert any("diverge" in f for f in failures)
+
+    def test_no_witness_cases_fails(self, cb):
+        failures = cb.check_cluster(cluster_report(cases=0))
+        assert any("no cases" in f for f in failures)
+
+    def test_missing_config(self, cb):
+        failures = cb.check_cluster({"schema": "fastbni-bench-cluster-v1"})
+        assert failures == ["cluster report lacks config.workers/cpu_cores"]
+
+
+# -------------------------------------------------------- ablation fixtures
+def ablation_report(components=None, base_errors: int = 0) -> dict:
+    if components is None:
+        components = {"cache": 1.4, "batcher": 1.3, "fused_kernels": 1.25,
+                      "planner": 1.2, "sessions_warm": 1.18}
+    rows = []
+    for rank, (name, ratio) in enumerate(
+            sorted(components.items(), key=lambda kv: -kv[1]), start=1):
+        rows.append({
+            "component": name,
+            "rank": rank,
+            "rps": 100.0 / ratio,
+            "rps_ratio": ratio,
+            "errors": 0,
+            "agreement": {"checked": 50, "missing": 0, "mismatched": 0,
+                          "max_abs_diff": 1e-15},
+        })
+    return {
+        "schema": "fastbni-bench-ablation-v1",
+        "baseline": {"rps": 100.0, "errors": base_errors},
+        "components": rows,
+    }
+
+
+class TestAblationCheck:
+    def test_pass_against_self(self, cb):
+        report = ablation_report()
+        assert cb.check_ablation(report, report) == []
+
+    def test_pass_without_baseline(self, cb):
+        assert cb.check_ablation(ablation_report()) == []
+
+    def test_wrong_schema(self, cb):
+        failures = cb.check_ablation({"schema": "nope"})
+        assert failures and "schema mismatch" in failures[0]
+
+    def test_empty_matrix_fails(self, cb):
+        report = ablation_report()
+        report["components"] = []
+        assert cb.check_ablation(report) == [
+            "ablation report ranks no components"]
+
+    def test_answer_divergence_fails(self, cb):
+        report = ablation_report()
+        report["components"][0]["agreement"]["max_abs_diff"] = 1e-6
+        failures = cb.check_ablation(report)
+        assert any("diverge" in f for f in failures)
+
+    def test_mismatched_events_fail(self, cb):
+        report = ablation_report()
+        report["components"][1]["agreement"]["mismatched"] = 3
+        failures = cb.check_ablation(report)
+        assert any("disagree" in f for f in failures)
+
+    def test_unchecked_variant_fails(self, cb):
+        """Zero checked events means the agreement gate proved nothing."""
+        report = ablation_report()
+        report["components"][0]["agreement"]["checked"] = 0
+        failures = cb.check_ablation(report)
+        assert any("no deterministic events" in f for f in failures)
+
+    def test_replay_errors_fail(self, cb):
+        report = ablation_report()
+        report["components"][0]["errors"] = 2
+        failures = cb.check_ablation(report)
+        assert any("request errors" in f for f in failures)
+
+    def test_baseline_errors_fail(self, cb):
+        report = ablation_report(base_errors=1)
+        failures = cb.check_ablation(report)
+        assert failures
+
+    def test_committed_artifact_needs_min_components(self, cb):
+        fresh = ablation_report()
+        committed = ablation_report(components={"cache": 1.4})
+        failures = cb.check_ablation(fresh, committed, min_components=5)
+        assert any("ranks only 1" in f for f in failures)
+
+    def test_smoke_subset_passes_full_baseline(self, cb):
+        """A CI smoke run covering fewer components is fine — the
+        min-components floor applies to the committed artifact."""
+        fresh = ablation_report(components={"cache": 1.35})
+        committed = ablation_report()
+        assert cb.check_ablation(fresh, committed) == []
+
+    def test_erased_contribution_fails(self, cb):
+        """The gate's reason to exist: a component whose committed win
+        collapses to ~1.0x fresh must fail even with perfect answers."""
+        fresh = ablation_report()
+        for row in fresh["components"]:
+            if row["component"] == "cache":
+                row["rps_ratio"] = 1.01
+        committed = ablation_report()  # cache committed at 1.40x
+        failures = cb.check_ablation(fresh, committed)
+        assert len(failures) == 1
+        assert "cache" in failures[0] and "dropped" in failures[0]
+
+    def test_retained_fraction_passes(self, cb):
+        """Noise-level sag within the retain fraction is tolerated."""
+        fresh = ablation_report()
+        for row in fresh["components"]:
+            if row["component"] == "cache":
+                row["rps_ratio"] = 1.15  # >= 1 + 0.25 * (1.40 - 1)
+        assert cb.check_ablation(fresh, ablation_report()) == []
+
+    def test_small_committed_contributions_unguarded(self, cb):
+        """Components near 1.0x in the committed run are noise; their
+        fresh ratio may wander below 1.0 freely."""
+        fresh = ablation_report()
+        for row in fresh["components"]:
+            if row["component"] == "sessions_warm":  # committed 1.18x
+                row["rps_ratio"] = 0.97
+        assert cb.check_ablation(fresh, ablation_report(),
+                                 min_contribution=1.19) == []
+
+    def test_baseline_schema_mismatch(self, cb):
+        failures = cb.check_ablation(ablation_report(), {"schema": "nope"})
+        assert any("baseline schema" in f for f in failures)
+
+
+# --------------------------------------------------------------------- main
+class TestMain:
+    def write(self, tmp_path: Path, name: str, payload: dict) -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exec_pass_and_fail(self, cb, tmp_path, capsys):
+        fresh = self.write(tmp_path, "fresh.json", exec_report())
+        base = self.write(tmp_path, "base.json", exec_report())
+        assert cb.main(["--fresh", fresh, "--baseline", base]) == 0
+        assert "bench ok" in capsys.readouterr().out
+
+        bad = self.write(tmp_path, "bad.json", exec_report(speedup=1.0))
+        assert cb.main(["--fresh", bad, "--baseline", base]) == 1
+        assert "BENCH REGRESSION" in capsys.readouterr().err
+
+    def test_schema_mismatch_exits_1(self, cb, tmp_path, capsys):
+        fresh = exec_report()
+        fresh["schema"] = "other"
+        fresh_path = self.write(tmp_path, "fresh.json", fresh)
+        base = self.write(tmp_path, "base.json", exec_report())
+        assert cb.main(["--fresh", fresh_path, "--baseline", base]) == 1
+        assert "schema mismatch" in capsys.readouterr().err
+
+    def test_sessions_flag(self, cb, tmp_path, capsys):
+        fresh = self.write(tmp_path, "fresh.json", exec_report())
+        base = self.write(tmp_path, "base.json", exec_report())
+        good = self.write(tmp_path, "sessions.json", sessions_report())
+        assert cb.main(["--fresh", fresh, "--baseline", base,
+                        "--sessions-fresh", good]) == 0
+        assert "session speedup" in capsys.readouterr().out
+        bad = self.write(tmp_path, "bad_sessions.json",
+                         sessions_report(speedup=1.0))
+        assert cb.main(["--fresh", fresh, "--baseline", base,
+                        "--sessions-fresh", bad]) == 1
+
+    def test_obs_flag(self, cb, tmp_path, capsys):
+        fresh = self.write(tmp_path, "fresh.json", exec_report())
+        base = self.write(tmp_path, "base.json", exec_report())
+        good = self.write(tmp_path, "obs.json", obs_report())
+        assert cb.main(["--fresh", fresh, "--baseline", base,
+                        "--obs", good]) == 0
+        assert "tracing-off overhead" in capsys.readouterr().out
+        bad = self.write(tmp_path, "bad_obs.json", obs_report(off=9.0))
+        assert cb.main(["--fresh", fresh, "--baseline", base,
+                        "--obs", bad]) == 1
+
+    def test_cluster_flag(self, cb, tmp_path, capsys):
+        fresh = self.write(tmp_path, "fresh.json", exec_report())
+        base = self.write(tmp_path, "base.json", exec_report())
+        good = self.write(tmp_path, "cluster.json", cluster_report())
+        assert cb.main(["--fresh", fresh, "--baseline", base,
+                        "--cluster", good]) == 0
+        assert "cluster speedup" in capsys.readouterr().out
+        bad = self.write(tmp_path, "bad_cluster.json",
+                         cluster_report(diff=1.0))
+        assert cb.main(["--fresh", fresh, "--baseline", base,
+                        "--cluster", bad]) == 1
+
+    def test_ablation_flag_standalone(self, cb, tmp_path, capsys):
+        """--fresh '' gates a single artifact — the ablation-smoke job."""
+        good = self.write(tmp_path, "ablation.json", ablation_report())
+        committed = self.write(tmp_path, "committed.json", ablation_report())
+        assert cb.main(["--fresh", "", "--ablation", good,
+                        "--ablation-baseline", committed]) == 0
+        out = capsys.readouterr().out
+        assert "exec check skipped" in out
+        assert "ablation: 5 component(s)" in out
+
+    def test_ablation_flag_fail(self, cb, tmp_path, capsys):
+        bad = ablation_report()
+        bad["components"][0]["agreement"]["max_abs_diff"] = 1e-3
+        bad_path = self.write(tmp_path, "bad.json", bad)
+        committed = self.write(tmp_path, "committed.json", ablation_report())
+        assert cb.main(["--fresh", "", "--ablation", bad_path,
+                        "--ablation-baseline", committed]) == 1
+        assert "BENCH REGRESSION" in capsys.readouterr().err
+
+    def test_ablation_missing_committed_artifact_fails(self, cb, tmp_path):
+        good = self.write(tmp_path, "ablation.json", ablation_report())
+        assert cb.main(["--fresh", "", "--ablation", good,
+                        "--ablation-baseline",
+                        str(tmp_path / "absent.json")]) == 1
+
+    def test_committed_artifacts_pass_their_own_gates(self, cb, capsys):
+        """The repo's committed artifacts must satisfy the gates they
+        anchor (self-vs-self for exec; absolute for the rest)."""
+        args = ["--fresh", str(REPO_ROOT / "BENCH_exec.json"),
+                "--baseline", str(REPO_ROOT / "BENCH_exec.json")]
+        if (REPO_ROOT / "BENCH_ablation.json").exists():
+            args += ["--ablation", str(REPO_ROOT / "BENCH_ablation.json"),
+                     "--ablation-baseline",
+                     str(REPO_ROOT / "BENCH_ablation.json")]
+        assert cb.main(args) == 0
+        assert "bench ok" in capsys.readouterr().out

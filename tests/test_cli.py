@@ -15,7 +15,7 @@ class TestParser:
             "table1", "scaling", "granularity", "root", "primitives",
             "overhead", "heuristics", "frontier", "incremental", "execbench",
             "sessions", "obsbench", "info", "query", "serve", "client",
-            "trace", "cluster", "clusterbench",
+            "trace", "cluster", "clusterbench", "workload", "ablate",
         }
 
     def test_requires_subcommand(self):
@@ -46,6 +46,96 @@ class TestParser:
         # health/stats need no network argument
         args = build_parser().parse_args(["client", "--op", "health"])
         assert args.network is None
+
+    def test_serve_sessions_flag(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.sessions == "warm"
+        args = build_parser().parse_args(["serve", "--sessions", "cold"])
+        assert args.sessions == "cold"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--sessions", "tepid"])
+
+    def test_obsbench_defaults(self):
+        args = build_parser().parse_args(["obsbench"])
+        assert args.network == "asia"
+        assert args.requests == 100
+        assert args.repeats == 24
+        assert args.out == "BENCH_obs.json"
+
+    def test_clusterbench_defaults(self):
+        args = build_parser().parse_args(["clusterbench"])
+        assert args.network == "pathfinder"
+        assert args.workers == 4
+        assert args.out == "BENCH_cluster.json"
+
+    def test_workload_defaults(self):
+        args = build_parser().parse_args(["workload"])
+        assert args.seed == 2023
+        assert args.requests == 240
+        assert args.out == "traffic.json"
+        assert not args.record
+        assert args.pace == 0.0
+
+    def test_ablate_defaults(self):
+        args = build_parser().parse_args(["ablate"])
+        assert args.trace == ""
+        assert args.repeats == 3
+        assert args.concurrency == 8
+        assert args.out == "BENCH_ablation.json"
+
+    def test_workload_bad_mix_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workload", "--mix", "zipf", "--out", ""])
+        assert "stream=fraction" in str(excinfo.value)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workload", "--mix", "zipf=lots", "--out", ""])
+        assert "bad mix fraction" in str(excinfo.value)
+
+    def test_ablate_unknown_component_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ablate", "--components", "telepathy", "--out", ""])
+        assert "unknown components" in str(excinfo.value)
+
+    def test_workload_bad_dense_grid_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workload", "--dense-grid", "big", "--out", ""])
+        assert "ROWSxCOLS" in str(excinfo.value)
+
+    def test_workload_per_stream_networks(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        rc = main(["workload", "--seed", "5", "--requests", "20",
+                   "--zipf-network", "cancer", "--dense-grid", "4x4x2",
+                   "--mix", "zipf=0.5,dense=0.5", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["networks"]["cancer"] == {"kind": "named",
+                                                 "name": "cancer"}
+        assert payload["networks"]["dense"]["rows"] == 4
+
+    def test_workload_generates_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        rc = main(["workload", "--seed", "3", "--requests", "12",
+                   "--mix", "zipf=0.6,session=0.4", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "fastbni-traffic-v1"
+        assert len(payload["events"]) == 12
+        assert "mix:" in capsys.readouterr().out
+
+    def test_ablate_smoke(self, capsys, tmp_path):
+        out = tmp_path / "ablation.json"
+        rc = main(["ablate", "--seed", "3", "--requests", "16",
+                   "--repeats", "1", "--concurrency", "2",
+                   "--mix", "zipf=0.6,session=0.4",
+                   "--components", "cache", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "fastbni-bench-ablation-v1"
+        assert [r["component"] for r in payload["components"]] == ["cache"]
+        agree = payload["components"][0]["agreement"]
+        assert agree["checked"] > 0
+        assert agree["max_abs_diff"] <= 1e-9
+        assert "x-off" in capsys.readouterr().out
 
 
 class TestCommands:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 
 import pytest
@@ -19,6 +20,11 @@ from repro.service.client import ServiceClient
 
 def run(coro):
     return asyncio.run(coro)
+
+
+#: Multiplier for wall-clock timing budgets in this file.  Slow or noisy
+#: CI boxes set REPRO_TEST_TIME_SLACK=3 (say) instead of editing tests.
+TIME_SLACK = max(1.0, float(os.environ.get("REPRO_TEST_TIME_SLACK", "1.0")))
 
 
 # ---------------------------------------------------------------- trace spans
@@ -433,7 +439,8 @@ class TestServerObservability:
         stage_sum = sum(s["duration_ms"] for s in trace["spans"]
                         if s["name"] in ("queue_wait", "cache_lookup",
                                          "execute", "serialize"))
-        assert stage_sum == pytest.approx(latency_ms, rel=0.10), (
+        assert stage_sum == pytest.approx(latency_ms,
+                                          rel=0.10 * TIME_SLACK), (
             f"stage sum {stage_sum:.3f} ms vs latency {latency_ms:.3f} ms")
         execute = next(s for s in trace["spans"] if s["name"] == "execute")
         assert execute["attributes"]["kernel_messages"] > 0

@@ -286,6 +286,117 @@ class TestSessionManager:
                                            want, atol=1e-12)
 
 
+# ---------------------------------------------------------------------- cold
+class TestColdSessions:
+    """The ablation kill-switch: cold mode disables warm deltas but may
+    never change an answer."""
+
+    WALK = ({"smoke": "yes"}, {"asia": "yes"}, {"smoke": "no"})
+
+    def _walk(self, manager):
+        sid = manager.open("asia")["session"]
+        payloads = [manager.update(sid, evidence=step, targets=("lung",))
+                    for step in self.WALK]
+        final = manager.query(sid, targets=("lung", "bronc"))
+        manager.close(sid)
+        return payloads, final
+
+    def test_cold_answers_match_warm(self):
+        with ModelRegistry() as registry, \
+                SessionManager(registry) as warm, \
+                SessionManager(registry, cold=True) as cold:
+            warm_updates, warm_final = self._walk(warm)
+            cold_updates, cold_final = self._walk(cold)
+            for w, c in zip(warm_updates, cold_updates):
+                np.testing.assert_allclose(c["posteriors"]["lung"],
+                                           w["posteriors"]["lung"],
+                                           atol=1e-12)
+                assert c["log_evidence"] == pytest.approx(
+                    w["log_evidence"], abs=1e-12)
+            for var in ("lung", "bronc"):
+                np.testing.assert_allclose(cold_final["posteriors"][var],
+                                           warm_final["posteriors"][var],
+                                           atol=1e-12)
+
+    def test_cold_rebuilds_state_every_operation(self):
+        """Cold ops swap in a fresh engine; warm ops keep the clone."""
+        with ModelRegistry() as registry, \
+                SessionManager(registry, cold=True) as cold:
+            sid = cold.open("asia")["session"]
+            before = cold._sessions[sid].engine
+            cold.update(sid, evidence={"smoke": "yes"}, targets=("lung",))
+            after_update = cold._sessions[sid].engine
+            assert after_update is not before
+            cold.query(sid, targets=("lung",))
+            assert cold._sessions[sid].engine is not after_update
+        with ModelRegistry() as registry, \
+                SessionManager(registry) as warm:
+            sid = warm.open("asia")["session"]
+            before = warm._sessions[sid].engine
+            warm.update(sid, evidence={"smoke": "yes"}, targets=("lung",))
+            assert warm._sessions[sid].engine is before
+
+    def test_cold_open_skips_cache_base_state(self):
+        """Warm opens clone from the cache's best-overlap base; cold
+        opens never touch it."""
+        with ModelRegistry() as registry:
+            entry = registry.get("asia")
+            assert entry.cache is not None
+            with SessionManager(registry, cold=True) as cold:
+                sid = cold.open("asia", evidence={"smoke": "yes"})["session"]
+                engine = cold._sessions[sid].engine
+                # A cache clone starts with valid messages; a cold build
+                # has none until the first read propagates.
+                assert cold._recomputed(engine) == 0
+                cold.close(sid)
+
+    def test_cold_retract_semantics_preserved(self):
+        """Merge/retract bookkeeping must survive the state rebuild."""
+        with ModelRegistry() as registry, \
+                SessionManager(registry) as warm, \
+                SessionManager(registry, cold=True) as cold:
+            answers = []
+            for manager in (warm, cold):
+                sid = manager.open(
+                    "asia", evidence={"smoke": "yes", "asia": "yes"}
+                )["session"]
+                payload = manager.update(sid, retract=("asia",),
+                                         targets=("lung",))
+                answers.append(payload["posteriors"]["lung"])
+                assert payload["evidence_vars"] == 1
+            np.testing.assert_allclose(answers[1], answers[0], atol=1e-12)
+
+    def test_server_session_cold_wiring(self):
+        """serve --sessions cold reaches the manager and answers match
+        a warm server over the wire."""
+        def one_walk(port: int):
+            with ServiceClient(port=port) as client:
+                with client.session("asia",
+                                    evidence={"smoke": "yes"}) as sess:
+                    result = sess.update(evidence={"asia": "yes"},
+                                         targets=["lung"])
+                    return result["posteriors"]["lung"]
+
+        async def go():
+            warm = InferenceServer(port=0)
+            cold = InferenceServer(port=0, session_cold=True)
+            assert not warm.sessions.cold
+            assert cold.sessions.cold
+            answers = {}
+            for name, server in (("warm", warm), ("cold", cold)):
+                await server.start()
+                try:
+                    answers[name] = await asyncio.to_thread(one_walk,
+                                                            server.port)
+                finally:
+                    await server.stop()
+            return answers
+
+        answers = run(go())
+        np.testing.assert_allclose(answers["cold"], answers["warm"],
+                                   atol=1e-12)
+
+
 # ---------------------------------------------------------------------- wire
 class TestSessionOpsOverWire:
     def test_session_lifecycle_via_client(self, asia):

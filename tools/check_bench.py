@@ -48,6 +48,16 @@ bounded overhead" (0.75x).  On >= 4 cores the floor is
 ``min(3.0, 0.6 * min(workers, cores))``, i.e. the full 3x acceptance
 multiple is demanded exactly when the hardware can express it.
 
+With ``--ablation`` it guards the component-ablation artifact
+(``BENCH_ablation.json``, ``fastbni ablate``): every one-component-off
+variant's deterministic answers must agree with the matrix baseline to
+≤ 1e-9 over at least one checked event with zero replay errors, the
+*committed* artifact must rank at least ``--min-ablation-components``
+components, and any committed contribution ≥ ``--min-contribution``
+must retain ``--ablation-retain-frac`` of its measured win in the fresh
+run — so a PR that erases a component's contribution (ratio collapsing
+to ~1.0x) fails even though every answer is still correct.
+
 Usage::
 
     python tools/check_bench.py --fresh BENCH_exec.fresh.json \
@@ -57,8 +67,11 @@ Usage::
         [--min-session-speedup 5.0] \
         [--obs BENCH_obs.fresh.json] [--max-obs-overhead 2.0] \
         [--max-obs-sampled 10.0] \
-        [--cluster BENCH_cluster.fresh.json]
+        [--cluster BENCH_cluster.fresh.json] \
+        [--ablation BENCH_ablation.fresh.json]
 
+``--fresh ''`` skips the exec comparison, so a job can gate a single
+artifact (e.g. ``--fresh '' --ablation BENCH_ablation.fresh.json``).
 Exit code 0 = within budget; 1 = regression (report on stderr).
 """
 
@@ -247,10 +260,100 @@ def check_cluster(report: dict) -> list[str]:
     return failures
 
 
+ABLATION_SCHEMA = "fastbni-bench-ablation-v1"
+#: Turning a component off may never change a deterministic answer.
+ABLATION_MAX_ABS_DIFF = 1e-9
+#: The committed artifact must rank at least this many components.
+ABLATION_MIN_COMPONENTS = 5
+#: Committed contributions at or above this ratio are guarded: a fresh
+#: run must retain a fraction of the measured win.
+ABLATION_MIN_CONTRIBUTION = 1.15
+#: Fraction of a guarded contribution the fresh run must retain.  A
+#: component whose committed win is 1.40x must stay >= 1.10x fresh
+#: (at 0.25) — generous under CI noise, a hard fail when a PR erases
+#: the contribution entirely (ratio ~1.0).
+ABLATION_RETAIN_FRAC = 0.25
+
+
+def check_ablation(fresh: dict, baseline: dict | None = None, *,
+                   min_components: int = ABLATION_MIN_COMPONENTS,
+                   min_contribution: float = ABLATION_MIN_CONTRIBUTION,
+                   retain_frac: float = ABLATION_RETAIN_FRAC) -> list[str]:
+    """Ablation floors: deterministic agreement on every variant, a
+    fully ranked committed matrix, and no erased contributions.
+
+    ``fresh`` may cover a component subset (the CI smoke matrix);
+    ``baseline`` is the committed full artifact and carries the
+    ``min_components`` ranking requirement.  For components present in
+    both, a committed contribution >= ``min_contribution`` must retain
+    ``retain_frac`` of its measured win in the fresh run.
+    """
+    if fresh.get("schema") != ABLATION_SCHEMA:
+        return [f"ablation schema mismatch: {fresh.get('schema')!r} "
+                f"(expected {ABLATION_SCHEMA!r})"]
+    failures: list[str] = []
+    rows = fresh.get("components", [])
+    if not rows:
+        return ["ablation report ranks no components"]
+    for row in rows:
+        name = row.get("component", "?")
+        agree = row.get("agreement") or {}
+        checked = int(agree.get("checked", 0))
+        diff = float(agree.get("max_abs_diff", float("inf")))
+        if checked <= 0:
+            failures.append(
+                f"ablation {name}: no deterministic events were checked "
+                "against baseline answers")
+        elif not diff <= ABLATION_MAX_ABS_DIFF:
+            failures.append(
+                f"ablation {name}: answers diverge from baseline: "
+                f"max_abs_diff={diff:.3e} over {checked} events (must "
+                f"stay <= {ABLATION_MAX_ABS_DIFF:.0e})")
+        if int(agree.get("mismatched", 0)) > 0:
+            failures.append(
+                f"ablation {name}: {agree['mismatched']} deterministic "
+                "events disagree with baseline beyond tolerance")
+        if int(row.get("errors", 0)) > 0 or int(
+                fresh.get("baseline", {}).get("errors", 0)) > 0:
+            failures.append(
+                f"ablation {name}: replay had request errors "
+                f"(component {row.get('errors', 0)}, baseline "
+                f"{fresh.get('baseline', {}).get('errors', 0)})")
+    if baseline is not None:
+        if baseline.get("schema") != ABLATION_SCHEMA:
+            return failures + [
+                f"ablation baseline schema mismatch: "
+                f"{baseline.get('schema')!r} (expected {ABLATION_SCHEMA!r})"]
+        base_rows = {r["component"]: r
+                     for r in baseline.get("components", [])}
+        if len(base_rows) < min_components:
+            failures.append(
+                f"committed ablation artifact ranks only {len(base_rows)} "
+                f"component(s); the acceptance floor is {min_components}")
+        for row in rows:
+            name = row.get("component", "?")
+            base = base_rows.get(name)
+            if base is None:
+                continue
+            base_ratio = float(base.get("rps_ratio", 0.0))
+            if base_ratio < min_contribution:
+                continue
+            required = 1.0 + retain_frac * (base_ratio - 1.0)
+            fresh_ratio = float(row.get("rps_ratio", 0.0))
+            if fresh_ratio < required:
+                failures.append(
+                    f"ablation {name}: contribution dropped to "
+                    f"{fresh_ratio:.2f}x (committed {base_ratio:.2f}x; "
+                    f"must retain >= {required:.2f}x = 1 + "
+                    f"{retain_frac:.2f} of the committed win)")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default="BENCH_exec.fresh.json",
-                        help="freshly generated report (fastbni execbench)")
+                        help="freshly generated report (fastbni execbench); "
+                             "'' skips the exec check")
     parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_exec.json"),
                         help="committed baseline artifact")
     parser.add_argument("--max-slowdown", type=float, default=0.25,
@@ -278,17 +381,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cluster", default="",
                         help="sharded-serving report (fastbni "
                              "clusterbench); '' skips the check")
+    parser.add_argument("--ablation", default="",
+                        help="ablation-matrix report (fastbni ablate); "
+                             "'' skips the check")
+    parser.add_argument("--ablation-baseline",
+                        default=str(REPO_ROOT / "BENCH_ablation.json"),
+                        help="committed ablation artifact the fresh run "
+                             "is held against")
+    parser.add_argument("--min-ablation-components", type=int,
+                        default=ABLATION_MIN_COMPONENTS,
+                        help="components the committed ablation artifact "
+                             "must rank")
+    parser.add_argument("--min-contribution", type=float,
+                        default=ABLATION_MIN_CONTRIBUTION,
+                        help="committed rps_ratio above which a "
+                             "component's contribution is guarded")
+    parser.add_argument("--ablation-retain-frac", type=float,
+                        default=ABLATION_RETAIN_FRAC,
+                        help="fraction of a guarded committed win the "
+                             "fresh run must retain")
     args = parser.parse_args(argv)
 
-    fresh = json.loads(Path(args.fresh).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-    if fresh.get("schema") != baseline.get("schema"):
-        print(f"schema mismatch: fresh {fresh.get('schema')} vs baseline "
-              f"{baseline.get('schema')}", file=sys.stderr)
-        return 1
-
-    failures = check(fresh, baseline, args.max_slowdown, args.min_speedup,
-                     args.absolute)
+    failures: list[str] = []
+    fresh = None
+    if args.fresh:
+        fresh = json.loads(Path(args.fresh).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+        if fresh.get("schema") != baseline.get("schema"):
+            print(f"schema mismatch: fresh {fresh.get('schema')} vs baseline "
+                  f"{baseline.get('schema')}", file=sys.stderr)
+            return 1
+        failures += check(fresh, baseline, args.max_slowdown,
+                          args.min_speedup, args.absolute)
     sessions_note = ""
     if args.sessions_fresh:
         sessions = json.loads(Path(args.sessions_fresh).read_text())
@@ -325,17 +449,41 @@ def main(argv: list[str] | None = None) -> int:
                             f"{cfg['workers']} workers/"
                             f"{cluster.get('cpu_cores')} cores "
                             f"(floor {floor:.2f}x)")
+    ablation_note = ""
+    if args.ablation:
+        ablation = json.loads(Path(args.ablation).read_text())
+        ablation_baseline = None
+        baseline_path = Path(args.ablation_baseline)
+        if baseline_path.exists():
+            ablation_baseline = json.loads(baseline_path.read_text())
+        else:
+            failures.append(
+                f"no committed ablation artifact at {baseline_path}")
+        failures += check_ablation(
+            ablation, ablation_baseline,
+            min_components=args.min_ablation_components,
+            min_contribution=args.min_contribution,
+            retain_frac=args.ablation_retain_frac)
+        rows = ablation.get("components", [])
+        if rows:
+            top = rows[0]
+            ablation_note = (f", ablation: {len(rows)} component(s), top "
+                             f"{top.get('component')} "
+                             f"{float(top.get('rps_ratio', 0.0)):.2f}x")
     if failures:
         print(f"\nBENCH REGRESSION ({len(failures)} problem(s)):",
               file=sys.stderr)
         for failure in failures:
             print(f"- {failure}", file=sys.stderr)
         return 1
-    speedup = fresh.get("single_case", {}).get("speedup_fused", 0.0)
-    print(f"bench ok: {len(load_rows(fresh))} rows within "
-          f"{args.max_slowdown:.0%} of baseline, fused speedup "
-          f"{speedup:.2f}x (floor {args.min_speedup:.2f}x)"
-          f"{sessions_note}{obs_note}{cluster_note}")
+    exec_note = "exec check skipped"
+    if fresh is not None:
+        speedup = fresh.get("single_case", {}).get("speedup_fused", 0.0)
+        exec_note = (f"{len(load_rows(fresh))} rows within "
+                     f"{args.max_slowdown:.0%} of baseline, fused speedup "
+                     f"{speedup:.2f}x (floor {args.min_speedup:.2f}x)")
+    print(f"bench ok: {exec_note}"
+          f"{sessions_note}{obs_note}{cluster_note}{ablation_note}")
     return 0
 
 
