@@ -62,6 +62,12 @@ COMPONENTS: dict[str, dict] = {
                        "reference kernels)",
         "off": {"kernels": "numpy"},
     },
+    "native_kernels": {
+        "description": "native C kernel backend: whole calibrations as "
+                       "GIL-free foreign calls (off = fused Python "
+                       "kernels)",
+        "off": {"kernels": "fused"},
+    },
     "cache": {
         "description": "two-tier incremental cache: calibrated-state LRU "
                        "+ result memo (off = every query recalibrates)",
@@ -89,8 +95,12 @@ DEFAULT_CONCURRENCY = 8
 #: Dense networks must overflow this so baseline auto-routing sends them
 #: to sampling while the planner-off variant pays the exact compile.
 DEFAULT_MAX_EXACT_BYTES = 2 * 1024 * 1024
-#: Shared server posture (identical across all variants).
-BASE_SERVER = {"max_batch": 32, "max_wait_ms": 2.0}
+#: Shared server posture (identical across all variants).  Baseline runs
+#: the native kernel backend so the ``native_kernels`` row measures its
+#: contribution; on toolchain-less machines native degrades to fused and
+#: the report's ``native`` field records it (the gate then exempts the
+#: row instead of failing on an off-variant identical to baseline).
+BASE_SERVER = {"max_batch": 32, "max_wait_ms": 2.0, "kernels": "native"}
 
 AGREEMENT_TOLERANCE = 1e-9
 
@@ -285,9 +295,13 @@ def run_ablation(trace: TrafficTrace | None = None, *,
     for rank, row in enumerate(rows, start=1):
         row["rank"] = rank
 
+    from repro.exec.native import native_status
+
+    native_available, native_reason = native_status()
     return {
         "schema": SCHEMA,
         "seed": trace.seed,
+        "native": {"available": native_available, "reason": native_reason},
         "config": {
             "repeats": repeats,
             "concurrency": concurrency,

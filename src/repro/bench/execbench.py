@@ -1,4 +1,4 @@
-"""Kernel-backend benchmark: fused vs numpy over the shared plan.
+"""Kernel-backend benchmark: fused vs numpy vs native over the shared plan.
 
 Measures the unified execution layer's hot paths on one network
 (default: the hailfinder analog at bench scale):
@@ -8,22 +8,34 @@ Measures the unified execution layer's hot paths on one network
   dispatch-frequency argument targets: the ``numpy`` backend re-pays
   NumPy's reduction/broadcast setup per table operation, the ``fused``
   backend executes each message as single scatter/gather passes through
-  the plan's precompiled index maps;
+  the plan's precompiled index maps, and the ``native`` backend runs the
+  whole compiled schedule as **one GIL-free C call** per case;
 * **full inference** — calibration plus the all-variables posterior read
   (shared plan geometry, backend-independent), for context;
 * **batched calibration** — ``BatchedFastBNI.infer_cases`` over the whole
-  case list in one schedule pass per backend.
+  case list in one schedule pass per backend;
+* **thread scaling** (native only) — ``calibrate_states`` at 1 vs 2
+  workers, where each worker's chunk is one GIL-free foreign call, plus a
+  **parallel-headroom probe** (two concurrent pure-C spins) recording how
+  much parallelism the machine could express at all.  Shared/stolen
+  vCPUs and single-core boxes show probe values near 1.0x; the regression
+  gate (``tools/check_bench.py``) enforces the scaling floor only when
+  the probe shows the hardware can express it.
 
-Every row cross-checks posteriors between backends (``max_abs_diff`` must
-sit at float64 round-off) so the speedup numbers can never come from
-diverging answers.  ``python -m repro.cli execbench`` renders the table
-and writes ``BENCH_exec.json``; ``tools/check_bench.py`` compares a fresh
-run against the committed artifact and fails CI on regressions.
+The ``native`` section records availability (and the reason when the
+backend fell back, e.g. no C compiler), so gates can skip honestly
+instead of failing on toolchain-less runners.  Every row cross-checks
+posteriors between backends (``max_abs_diff`` must sit at float64
+round-off) so the speedup numbers can never come from diverging answers.
+``python -m repro.cli execbench`` renders the table and writes
+``BENCH_exec.json``; ``tools/check_bench.py`` compares a fresh run
+against the committed artifact and fails CI on regressions.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -33,10 +45,15 @@ import numpy as np
 from repro.bn.repository import resolve_network
 from repro.bn.sampling import generate_test_cases
 from repro.core import BatchedFastBNI, FastBNI
-from repro.exec.kernels import KERNELS
+from repro.exec.kernels import KERNELS, calibrate_states, get_kernels
 
 #: Benchmark schema version (bumped when row keys change).
-SCHEMA = 1
+SCHEMA = 2
+
+#: States calibrated per thread-scaling measurement (split across workers).
+THREAD_SCALING_CASES = 160
+#: Workers of the threaded measurement (the acceptance regime).
+THREAD_SCALING_WORKERS = 2
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -56,14 +73,125 @@ def _max_posterior_diff(a, b, names) -> float:
     )
 
 
+def _active_backends() -> tuple[list[str], dict]:
+    """Registry backends that actually resolve to themselves here.
+
+    ``native`` falls back to the fused singleton on toolchain-less
+    machines; benchmarking the fallback would just duplicate the fused
+    rows under a wrong label, so it is dropped and the reason recorded.
+    """
+    from repro.exec.native import native_status
+
+    available, reason = native_status()
+    backends = [k for k in KERNELS if k != "native" or available]
+    native_info: dict = {"available": available, "reason": reason,
+                         "library": None}
+    if available:
+        backend = get_kernels("native")
+        if backend.name == "native":
+            native_info["library"] = backend.library_path
+        else:  # pragma: no cover - probe said yes but the build failed
+            backends.remove("native")
+            native_info.update(available=False,
+                               reason="backend fell back to fused")
+    return backends, native_info
+
+
+def _gil_release_fraction(plan, backend, states, calls: int = 10) -> float:
+    """Machine-independent witness that the native calls drop the GIL.
+
+    A counter thread increments a Python int while the main thread runs
+    ``calls`` whole-chunk calibrations; the fraction is the counter's
+    rate during those calls relative to its solo rate.  With the GIL held
+    through the foreign call the counter cannot advance at all (the
+    holder is blocked in C), so the fraction collapses to ~0 — on *any*
+    machine, including a single core where the OS still timeslices the
+    two threads.  This is the regression gate for the GIL mechanism
+    itself; ``scaling`` above is hardware-dependent and gated separately.
+    """
+    import threading
+
+    count = [0]
+    stop = threading.Event()
+
+    def spin_counter() -> None:
+        while not stop.is_set():
+            count[0] += 1
+
+    ticker = threading.Thread(target=spin_counter, daemon=True)
+    ticker.start()
+    try:
+        time.sleep(0.05)  # let the counter reach steady state
+        start_count = count[0]
+        start = time.perf_counter()
+        for _ in range(calls):
+            calibrate_states(plan, states, backend, workers=1)
+        elapsed = time.perf_counter() - start
+        during = count[0] - start_count
+        baseline_start = count[0]
+        time.sleep(elapsed)
+        solo = count[0] - baseline_start
+    finally:
+        stop.set()
+        ticker.join()
+    return during / solo if solo else 0.0
+
+
+def _measure_thread_scaling(net, repeats: int) -> dict:
+    """``calibrate_states`` at 1 vs 2 workers under the native backend.
+
+    Each worker's chunk is one GIL-free ``fbni_run_schedules`` call, so
+    on a machine with two free cores the chunks overlap.  Serial and
+    threaded timings are sampled in interleaved best-of rounds so a CPU-
+    steal window cannot penalise one arm only.  Alongside the scaling
+    ratio the row records two witnesses the gate conditions on: the
+    pure-ALU parallel-headroom probe (can this machine run two GIL-free
+    C calls at once at all?) and the GIL-release fraction (does this
+    *code path* actually drop the GIL?) — see ``tools/check_bench.py``.
+    """
+    from repro.exec.native import probe_parallel_headroom
+
+    with FastBNI(net, mode="seq", kernels="native") as engine:
+        engine.infer({})  # compile plan + schedule
+        plan, backend = engine.plan, engine.kernels
+        states = [plan.fresh_state() for _ in range(THREAD_SCALING_CASES)]
+
+        def timed(workers: int) -> float:
+            for state in states:
+                state.log_norm = 0.0
+            start = time.perf_counter()
+            calibrate_states(plan, states, backend, workers=workers)
+            return time.perf_counter() - start
+
+        timed(1); timed(THREAD_SCALING_WORKERS)  # warm pool + arenas
+        serial_s = threaded_s = float("inf")
+        for _ in range(max(repeats, 3) * 2):
+            serial_s = min(serial_s, timed(1))
+            threaded_s = min(threaded_s, timed(THREAD_SCALING_WORKERS))
+        headroom = probe_parallel_headroom(
+            backend._lib, threads=THREAD_SCALING_WORKERS)
+        gil_release = _gil_release_fraction(plan, backend, states)
+    return {
+        "workers": THREAD_SCALING_WORKERS,
+        "cases": THREAD_SCALING_CASES,
+        "serial_ms": serial_s * 1e3,
+        "threaded_ms": threaded_s * 1e3,
+        "scaling": serial_s / threaded_s,
+        "headroom": headroom,
+        "gil_release": gil_release,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def run_execbench(network: str = "hailfinder", num_cases: int = 24,
                   repeats: int = 3, seed: int = 2023) -> dict:
-    """Time both kernel backends on ``network``; returns the report dict."""
+    """Time every kernel backend on ``network``; returns the report dict."""
     net = resolve_network(network)
     cases = [c.evidence for c in
              generate_test_cases(net, num_cases, observed_fraction=0.2,
                                  rng=seed)]
     names = tuple(net.variable_names)
+    backends, native_info = _active_backends()
 
     rows: list[dict] = []
     single_ms: dict[str, float] = {}
@@ -71,7 +199,7 @@ def run_execbench(network: str = "hailfinder", num_cases: int = 24,
     check_results: dict[str, object] = {}
 
     infer_ms: dict[str, float] = {}
-    for kernels in KERNELS:
+    for kernels in backends:
         with FastBNI(net, mode="seq", kernels=kernels) as engine:
             engine.infer(cases[0])  # warm: plan, base tables, maps
 
@@ -118,14 +246,31 @@ def run_execbench(network: str = "hailfinder", num_cases: int = 24,
             })
 
     # Backends must agree bit-for-bit (to float64 round-off) on every path.
+    reference = check_results["single:fused"]
     max_diff = max(
-        _max_posterior_diff(check_results["single:fused"],
-                            check_results["single:numpy"], names),
-        _max_posterior_diff(check_results["batch:fused"],
-                            check_results["batch:numpy"], names),
-        _max_posterior_diff(check_results["single:fused"],
-                            check_results["batch:fused"], names),
+        max(_max_posterior_diff(reference, check_results[f"single:{k}"],
+                                names) for k in backends),
+        max(_max_posterior_diff(check_results["batch:fused"],
+                                check_results[f"batch:{k}"], names)
+            for k in backends),
+        _max_posterior_diff(reference, check_results["batch:fused"], names),
     )
+
+    def summary(ms: dict[str, float]) -> dict:
+        out = {
+            "numpy_ms": ms["numpy"],
+            "fused_ms": ms["fused"],
+            "speedup_fused": ms["numpy"] / ms["fused"],
+            "native_ms": ms.get("native"),
+            "speedup_native": None,
+        }
+        if "native" in ms:
+            out["speedup_native"] = ms["fused"] / ms["native"]
+        return out
+
+    thread_scaling: dict = {"skipped": native_info["reason"]}
+    if "native" in backends:
+        thread_scaling = _measure_thread_scaling(net, repeats)
 
     return {
         "schema": SCHEMA,
@@ -135,21 +280,11 @@ def run_execbench(network: str = "hailfinder", num_cases: int = 24,
         "seed": seed,
         "python": platform.python_version(),
         "rows": rows,
-        "single_case": {
-            "numpy_ms": single_ms["numpy"],
-            "fused_ms": single_ms["fused"],
-            "speedup_fused": single_ms["numpy"] / single_ms["fused"],
-        },
-        "full_infer": {
-            "numpy_ms": infer_ms["numpy"],
-            "fused_ms": infer_ms["fused"],
-            "speedup_fused": infer_ms["numpy"] / infer_ms["fused"],
-        },
-        "batch": {
-            "numpy_ms": batch_ms["numpy"],
-            "fused_ms": batch_ms["fused"],
-            "speedup_fused": batch_ms["numpy"] / batch_ms["fused"],
-        },
+        "single_case": summary(single_ms),
+        "full_infer": summary(infer_ms),
+        "batch": summary(batch_ms),
+        "native": native_info,
+        "thread_scaling": thread_scaling,
         "max_abs_diff": max_diff,
     }
 
@@ -168,6 +303,22 @@ def render_execbench(report: dict) -> str:
         f"single-case, {report['batch']['speedup_fused']:.2f}x batched "
         f"(max |diff| = {report['max_abs_diff']:.2e})"
     )
+    native = report.get("native", {})
+    if native.get("available"):
+        single = report["single_case"]
+        lines.append(
+            f"  native speedup over fused: {single['speedup_native']:.2f}x "
+            f"single-case ({native['library']})")
+        scaling = report.get("thread_scaling", {})
+        if "scaling" in scaling:
+            lines.append(
+                f"  thread scaling: {scaling['scaling']:.2f}x at "
+                f"{scaling['workers']} workers over {scaling['cases']} "
+                f"cases (headroom probe {scaling['headroom']:.2f}x on "
+                f"{scaling['cpu_count']} cores, GIL-release fraction "
+                f"{scaling['gil_release']:.2f})")
+    else:
+        lines.append(f"  native backend unavailable: {native.get('reason')}")
     return "\n".join(lines)
 
 

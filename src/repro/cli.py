@@ -44,6 +44,7 @@ import math
 import sys
 
 from repro.bn.repository import PAPER_NETWORKS
+from repro.exec.kernels import KERNELS
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -405,6 +406,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         "policy": args.policy,
         "cache": args.cache == "on",
         "max_bytes": int(args.max_mb * 1024 * 1024),
+        "kernels": args.kernels,
     }
 
     def on_ready(router) -> None:
@@ -871,12 +873,13 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--mode", default="hybrid")
     q.add_argument("--backend", default="thread")
     q.add_argument("--workers", type=int, default=4)
-    q.add_argument("--kernels", default="fused", choices=("fused", "numpy"),
+    q.add_argument("--kernels", default="fused", choices=KERNELS,
                    help="whole-message kernel backend: fused flat-arena "
-                        "passes (default) or the numpy ndview reference; "
-                        "drives the seq and batched paths — single queries "
-                        "need --mode seq (parallel modes chunk their own "
-                        "kernels)")
+                        "passes (default), the numpy ndview reference, or "
+                        "native GIL-free C calls (falls back to fused "
+                        "when no C compiler is available); drives the seq "
+                        "and batched paths — single queries need --mode "
+                        "seq (parallel modes chunk their own kernels)")
     q.set_defaults(func=_cmd_query)
 
     sv = sub.add_parser("serve", help="run the resident inference server "
@@ -949,9 +952,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "throughput comes from batching, not worker pools)")
     sv.add_argument("--backend", default="thread")
     sv.add_argument("--workers", type=int, default=1)
-    sv.add_argument("--kernels", default="fused", choices=("fused", "numpy"),
+    sv.add_argument("--kernels", default="fused", choices=KERNELS,
                     help="whole-message kernel backend for served models "
-                         "(info/stats report the active one)")
+                         "(info/stats report the active one — native "
+                         "degrades to fused without a C compiler)")
     sv.set_defaults(func=_cmd_serve)
 
     cu = sub.add_parser("cluster",
@@ -985,6 +989,11 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("exact", "approx", "auto"))
     cu.add_argument("--cache", default="on", choices=("on", "off"),
                     help="per-worker two-tier incremental cache")
+    cu.add_argument("--kernels", default="fused", choices=KERNELS,
+                    help="per-worker kernel backend (each worker process "
+                         "compiles/loads the native library from the "
+                         "shared cache; degrades to fused without a C "
+                         "compiler)")
     cu.add_argument("--max-mb", type=float, default=256.0,
                     help="per-worker registry byte budget")
     cu.set_defaults(func=_cmd_cluster)

@@ -31,9 +31,12 @@ class FastBNIConfig:
         disables it (ablation).
     kernels:
         Kernel backend for whole-message execution (the sequential and
-        batched paths): ``"fused"`` (one pass per message over the N-D
-        arena views, the default) or ``"numpy"`` (the unfused index-map
-        reference).  See :mod:`repro.exec.kernels`.
+        batched paths): ``"fused"`` (one scatter/gather pass per message
+        over the flat arena, the default), ``"numpy"`` (the N-D-view
+        reference) or ``"native"`` (the fused message compiled to a C
+        library called GIL-free through ctypes; falls back to ``fused``
+        with a logged reason when no C compiler is available).  See
+        :mod:`repro.exec.kernels`.
     min_chunk:
         Smallest entry-range worth dispatching as its own task; tables
         smaller than this are processed inline by the master (controls the

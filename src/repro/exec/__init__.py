@@ -8,8 +8,10 @@ Three pieces, consumed by every engine (see :mod:`repro.core`,
   with offsets for every clique/separator table plus per-edge
   :class:`EdgeGeometry` in both the index-map and N-D-view formulations;
 * :mod:`repro.exec.kernels` — the :class:`KernelBackend` protocol with
-  the ``numpy`` reference backend and the ``fused`` backend that executes
-  marginalize+absorb as one pass per message over the arena;
+  the ``numpy`` reference backend, the ``fused`` backend that executes
+  marginalize+absorb as one pass per message over the arena, and the
+  ``native`` backend (:mod:`repro.exec.native`) that compiles those
+  passes to a C library called GIL-free through ``ctypes``;
 * :mod:`repro.exec.engine_api` — the :class:`InferenceEngine` protocol
   and :class:`EngineCapabilities` flags the service layers dispatch on.
 """
@@ -26,6 +28,9 @@ from repro.exec.kernels import (KERNELS, FusedKernels, KernelBackend,
 #: import here would close that cycle.
 _PLAN_EXPORTS = ("EdgeGeometry", "MessagePlan", "PlanSpec", "compile_plan",
                  "stride_triples")
+#: Native symbols resolve lazily too: NativeKernels needs a built
+#: library, and the availability probe should not be paid at import time.
+_NATIVE_EXPORTS = ("load_native_kernels", "native_status")
 
 
 def __getattr__(name: str):
@@ -33,6 +38,10 @@ def __getattr__(name: str):
         from repro.exec import plan
 
         return getattr(plan, name)
+    if name in _NATIVE_EXPORTS:
+        from repro.exec import native
+
+        return getattr(native, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -51,6 +60,8 @@ __all__ = [
     "PlanSpec",
     "compile_plan",
     "get_kernels",
+    "load_native_kernels",
+    "native_status",
     "run_message_schedule",
     "stride_triples",
 ]

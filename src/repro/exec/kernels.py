@@ -32,15 +32,28 @@ Two layers:
     shape bookkeeping and no per-op dispatch.  This is the paper's
     compile-time-index-map amortisation carried to its end point.
 
-  Both backends are bit-compatible to float64 round-off (the property
-  suite pins 1e-12 agreement over random and degenerate geometries);
-  ``fused`` is the default and is what ``BENCH_exec.json`` tracks.
+  - ``native``: the same fused message executed by **one C call outside
+    the interpreter** (:mod:`repro.exec.native`) — compiled on first use
+    with the system C compiler into a content-hash-cached ``.so`` and
+    invoked through ``ctypes``, which releases the GIL for the duration
+    of every call (thread-dispatched case blocks overlap on real cores)
+    and skips zero blocks of the CPT-product base tables via per-plan
+    run lists.  When no C compiler is available, selecting ``native``
+    falls back to ``fused`` with a logged reason; ``info``/``stats``
+    then honestly report the active backend as ``fused``.
 
-Backends are stateless singletons; select one with :func:`get_kernels`.
+  All backends are bit-compatible to float64 round-off (the property
+  suites pin 1e-12 agreement over random and degenerate geometries);
+  ``fused`` is the default and ``BENCH_exec.json`` tracks every backend.
+
+Backends are per-process singletons resolved lazily from one registry;
+select one with :func:`get_kernels`.  ``KERNELS`` is derived from that
+registry, so the advertised names and the resolvable names can't drift.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 
@@ -48,6 +61,8 @@ import numpy as np
 
 from repro.errors import BackendError, EvidenceError
 from repro.obs.trace import current_kernel_hooks
+
+logger = logging.getLogger(__name__)
 
 #: per destination variable: (stride in src domain, cardinality, stride in dst)
 StrideTriples = tuple[tuple[int, int, int], ...]
@@ -311,22 +326,57 @@ class FusedKernels(KernelBackend):
         return log_totals
 
 
-#: The pluggable backend registry (CLI/service ``--kernels`` values).
-KERNELS = ("fused", "numpy")
-_BACKENDS: dict[str, KernelBackend] = {
-    "numpy": NumpyKernels(),
-    "fused": FusedKernels(),
+def _make_native() -> KernelBackend:
+    """Build the native backend, degrading to ``fused`` when it can't.
+
+    The fallback returns the *fused singleton itself*, so ``engine.
+    kernels.name`` (surfaced by ``info``/``stats``/trace spans) reports
+    the backend actually executing messages, never the one requested.
+    """
+    from repro.exec.native import load_native_kernels
+
+    backend, reason = load_native_kernels()
+    if backend is None:
+        logger.warning(
+            "native kernel backend unavailable (%s); falling back to fused",
+            reason)
+        return get_kernels("fused")
+    return backend
+
+
+#: The pluggable backend registry: name -> zero-arg factory.  Instances
+#: are built lazily (``native`` compiles a C library on first use) and
+#: cached per process in ``_INSTANCES``.
+_FACTORIES = {
+    "fused": FusedKernels,
+    "numpy": NumpyKernels,
+    "native": _make_native,
 }
+_INSTANCES: dict[str, KernelBackend] = {}
+
+#: Selectable backend names (CLI/service ``--kernels`` values) — derived
+#: from the registry so the advertised and resolvable names never drift.
+KERNELS = tuple(_FACTORIES)
 
 
 def get_kernels(name: str) -> KernelBackend:
-    """Resolve a kernel-backend name (``"fused"`` or ``"numpy"``)."""
-    try:
-        return _BACKENDS[name]
-    except KeyError:
-        raise BackendError(
-            f"unknown kernel backend {name!r}; expected one of {KERNELS}"
-        ) from None
+    """Resolve a kernel-backend name from the registry (lazily built).
+
+    ``"native"`` resolves to the fused singleton (with a logged reason)
+    when no C compiler is available — callers always get a working
+    backend whose ``.name`` states what actually runs.
+    """
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            known = ", ".join(sorted(_FACTORIES))
+            raise BackendError(
+                f"unknown kernel backend {name!r}; available backends: {known}"
+            ) from None
+        backend = _INSTANCES[name] = factory()
+    return backend
 
 
 def run_message_schedule(plan, state, backend: KernelBackend,
@@ -348,6 +398,15 @@ def run_message_schedule(plan, state, backend: KernelBackend,
     """
     if hooks is None:
         hooks = current_kernel_hooks()
+    if hooks is None and getattr(backend, "compiles_schedule", False):
+        # Schedule-compiling backends (native) run the whole calibration
+        # as one GIL-free foreign call when nothing needs per-message
+        # visibility; None means this plan/state can't take the fast path.
+        done = backend.run_schedule(plan, state, map_limit)
+        if done is not None:
+            messages, log_norm = done
+            state.log_norm += log_norm
+            return messages
     spec = plan.spec
     cliques = [p.values for p in state.clique_pot]
     seps = [p.values for p in state.sep_pot]
@@ -357,20 +416,28 @@ def run_message_schedule(plan, state, backend: KernelBackend,
     timer = time.perf_counter
     run_start = timer() if hooks is not None else 0.0
     if hooks is not None:
-        def send(src, dst, sep, edge, upward, maps,  # noqa: F811
-                 _send=backend.message):
+        def send(*args, _send=backend.message):  # noqa: F811
             t0 = timer()
-            out = _send(src, dst, sep, edge, upward, maps)
-            hooks.on_message(upward, timer() - t0)
+            out = _send(*args)
+            hooks.on_message(args[4], timer() - t0)
             return out
 
     if backend.wants_maps:
         # Map-consuming backends run the pre-compiled sequence: maps
-        # prefetched, zero per-message plan lookups.
+        # prefetched, zero per-message plan lookups.  Skip-consuming
+        # backends (native) additionally get each endpoint's nonzero-run
+        # list so structurally-zero blocks of the base tables cost nothing.
+        skips = (plan.zero_skip_runs()
+                 if getattr(backend, "wants_skips", False) else None)
         for upward, src, dst, sep_id, edge, m_marg, m_abs in \
                 plan.compiled_messages(limit=map_limit):
-            log_total = send(cliques[src], cliques[dst], seps[sep_id],
-                             edge, upward, (m_marg, m_abs))
+            if skips is None:
+                log_total = send(cliques[src], cliques[dst], seps[sep_id],
+                                 edge, upward, (m_marg, m_abs))
+            else:
+                log_total = send(cliques[src], cliques[dst], seps[sep_id],
+                                 edge, upward, (m_marg, m_abs),
+                                 (skips[src], skips[dst]))
             if upward:
                 log_norm += log_total
             messages += 1
@@ -394,3 +461,47 @@ def run_message_schedule(plan, state, backend: KernelBackend,
                           seconds=timer() - run_start,
                           arena_bytes=getattr(plan, "arena_bytes", None))
     return messages
+
+
+def calibrate_states(plan, states, backend: KernelBackend,
+                     workers: int = 1, map_limit: int | None = None) -> int:
+    """Calibrate many independent single-case states, optionally threaded.
+
+    The thread-dispatch path for per-case calibration: states are split
+    into one contiguous chunk per worker and each chunk calibrates on its
+    own thread.  Schedule-compiling backends (``native``) run each chunk
+    as **one GIL-free foreign call** (:meth:`NativeKernels.run_schedules`),
+    so chunks genuinely overlap on separate cores — the granularity at
+    which ``parallel=thread`` dispatch finally scales.  Other backends
+    loop :func:`run_message_schedule` per state (threads then only help
+    as far as NumPy internally drops the GIL).
+
+    Updates each state's tables and ``log_norm`` in place; returns the
+    total number of messages executed.
+    """
+    states = list(states)
+    if not states:
+        return 0
+
+    def run_chunk(chunk) -> int:
+        if getattr(backend, "compiles_schedule", False):
+            per_state = backend.run_schedules(plan, chunk, map_limit)
+            if per_state is not None:
+                return per_state * len(chunk)
+        sent = 0
+        for state in chunk:
+            sent += run_message_schedule(plan, state, backend,
+                                         map_limit=map_limit)
+        return sent
+
+    workers = max(1, min(workers, len(states)))
+    if workers == 1:
+        return run_chunk(states)
+    bounds = [(len(states) * w // workers, len(states) * (w + 1) // workers)
+              for w in range(workers)]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(run_chunk, states[lo:hi])
+                   for lo, hi in bounds if hi > lo]
+        return sum(f.result() for f in futures)

@@ -84,6 +84,89 @@ class TestExecCheck:
                             "reports"]
 
 
+# ---------------------------------------------------------- native fixtures
+def native_report(speedup: float = 2.0, scaling: float = 1.6,
+                  headroom: float = 1.8, gil_release: float = 0.4,
+                  cores: int = 8, available: bool = True,
+                  reason=None) -> dict:
+    report = exec_report()
+    if available:  # execbench only emits rows for backends that built
+        report["rows"].append(
+            {"path": "batched", "kernels": "native", "ms_per_case": 0.5})
+    report["single_case"]["speedup_native"] = speedup if available else None
+    report["native"] = {"available": available, "reason": reason,
+                        "library": "/tmp/fbni.so" if available else None}
+    report["thread_scaling"] = {
+        "workers": 2, "cases": 160, "serial_ms": 10.0,
+        "threaded_ms": 10.0 / scaling, "scaling": scaling,
+        "headroom": headroom, "gil_release": gil_release,
+        "cpu_count": cores,
+    } if available else {"skipped": reason}
+    return report
+
+
+class TestNativeCheck:
+    def test_pass(self, cb):
+        failures, notes = cb.check_native(native_report(), 1.5, 1.3)
+        assert failures == [] and notes == []
+
+    def test_schema1_report_notes_and_passes(self, cb):
+        """Reports from before the native backend carry no gates."""
+        failures, notes = cb.check_native(exec_report(), 1.5, 1.3)
+        assert failures == []
+        assert notes and "schema 1" in notes[0]
+
+    def test_unavailable_backend_notes_and_passes(self, cb):
+        report = native_report(available=False, reason="no C compiler")
+        failures, notes = cb.check_native(report, 1.5, 1.3)
+        assert failures == []
+        assert notes and "no C compiler" in notes[0]
+
+    def test_speedup_floor_fails(self, cb):
+        failures, _ = cb.check_native(native_report(speedup=1.1), 1.5, 1.3)
+        assert any("below the 1.50x floor" in f for f in failures)
+
+    def test_missing_thread_scaling_fails(self, cb):
+        report = native_report()
+        report["thread_scaling"] = {}
+        failures, _ = cb.check_native(report, 1.5, 1.3)
+        assert any("no thread_scaling measurement" in f for f in failures)
+
+    def test_gil_release_collapse_fails_everywhere(self, cb):
+        """The GIL witness is machine-independent — it fails even on a
+        small box where the scaling floor itself is degraded."""
+        failures, _ = cb.check_native(
+            native_report(gil_release=0.001, cores=2, scaling=0.9),
+            1.5, 1.3)
+        assert any("no longer release the GIL" in f for f in failures)
+
+    def test_scaling_floor_enforced_on_capable_machine(self, cb):
+        failures, notes = cb.check_native(
+            native_report(scaling=1.1, cores=8, headroom=1.8), 1.5, 1.3)
+        assert any("below the 1.30x floor" in f for f in failures)
+        assert notes == []
+
+    def test_small_box_degrades_with_note(self, cb):
+        """2-core runners get the bounded-overhead floor, not 1.3x."""
+        failures, notes = cb.check_native(
+            native_report(scaling=0.9, cores=2), 1.5, 1.3)
+        assert failures == []
+        assert notes and "degraded to bounded-overhead" in notes[0]
+
+    def test_no_headroom_degrades_with_note(self, cb):
+        """Plenty of cores but the ALU probe shows two GIL-free calls
+        cannot overlap (stolen/shared vCPUs) — degrade, don't fail."""
+        failures, notes = cb.check_native(
+            native_report(scaling=1.0, cores=8, headroom=1.05), 1.5, 1.3)
+        assert failures == []
+        assert notes and "headroom probe measured 1.05x" in notes[0]
+
+    def test_degraded_floor_still_bounds_overhead(self, cb):
+        failures, _ = cb.check_native(
+            native_report(scaling=0.3, cores=2), 1.5, 1.3)
+        assert any("bounded-overhead floor" in f for f in failures)
+
+
 # -------------------------------------------------------- sessions fixtures
 def sessions_report(speedup: float = 6.0, diff: float = 1e-13) -> dict:
     return {
@@ -340,6 +423,24 @@ class TestAblationCheck:
         failures = cb.check_ablation(ablation_report(), {"schema": "nope"})
         assert any("baseline schema" in f for f in failures)
 
+    def test_native_kernels_exempt_when_backend_unavailable(self, cb):
+        """On a toolchain-less runner the native_kernels off-variant runs
+        the same fused backend as the matrix baseline, so its committed
+        contribution cannot be retained — and must not fail the gate."""
+        committed = ablation_report(
+            components={"cache": 1.4, "batcher": 1.3, "native_kernels": 1.5,
+                        "planner": 1.2, "sessions_warm": 1.18})
+        fresh = ablation_report(
+            components={"cache": 1.4, "batcher": 1.3, "native_kernels": 1.0,
+                        "planner": 1.2, "sessions_warm": 1.18})
+        fresh["native"] = {"available": False, "reason": "no C compiler"}
+        assert cb.check_ablation(fresh, committed) == []
+        # With the backend available the same collapse is a hard fail.
+        fresh["native"] = {"available": True, "reason": None}
+        failures = cb.check_ablation(fresh, committed)
+        assert any("native_kernels" in f and "dropped" in f
+                   for f in failures)
+
 
 # --------------------------------------------------------------------- main
 class TestMain:
@@ -357,6 +458,37 @@ class TestMain:
         bad = self.write(tmp_path, "bad.json", exec_report(speedup=1.0))
         assert cb.main(["--fresh", bad, "--baseline", base]) == 1
         assert "BENCH REGRESSION" in capsys.readouterr().err
+
+    def test_native_floors_wired_into_main(self, cb, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", native_report())
+        good = self.write(tmp_path, "good.json", native_report())
+        assert cb.main(["--fresh", good, "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "native speedup 2.00x" in out and "thread scaling" in out
+
+        bad = self.write(tmp_path, "bad.json", native_report(speedup=1.1))
+        assert cb.main(["--fresh", bad, "--baseline", base]) == 1
+        assert "below the 1.50x floor" in capsys.readouterr().err
+
+    def test_small_box_note_printed_by_main(self, cb, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", native_report())
+        small = self.write(tmp_path, "small.json",
+                           native_report(scaling=0.9, cores=2))
+        assert cb.main(["--fresh", small, "--baseline", base]) == 0
+        assert "degraded to bounded-overhead" in capsys.readouterr().out
+
+    def test_compilerless_fresh_passes_native_baseline(self, cb, tmp_path,
+                                                       capsys):
+        """A toolchain-less runner's fresh report (no native rows) must
+        still compare cleanly against a committed artifact that has
+        them — intersection rows only, native gates noted as skipped."""
+        base = self.write(tmp_path, "base.json", native_report())
+        fresh = self.write(
+            tmp_path, "fresh.json",
+            native_report(available=False, reason="no C compiler"))
+        assert cb.main(["--fresh", fresh, "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "note: native gates skipped" in out
 
     def test_schema_mismatch_exits_1(self, cb, tmp_path, capsys):
         fresh = exec_report()

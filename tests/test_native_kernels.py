@@ -1,0 +1,364 @@
+"""Tests for the native C kernel backend (repro.exec.native).
+
+Mirrors the randomized property suite of ``tests/test_exec.py`` with the
+native backend duelling the numpy reference at 1e-12, plus the pieces
+only this backend has: zero-block skip lists, the compiled-schedule fast
+path, the registry fallback when the toolchain is missing, a GIL-release
+witness, and an (aggressively machine-gated) thread-scaling floor.
+
+Everything that needs a built library is skipped — with the recorded
+reason — on machines without a C compiler.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bn.datasets import load_dataset
+from repro.core import FastBNI
+from repro.errors import BackendError, EvidenceError
+from repro.exec.kernels import (calibrate_states, get_kernels,
+                                run_message_schedule, triples_to_map)
+from repro.exec.kernels import _INSTANCES as _KERNEL_INSTANCES
+from repro.exec.native import (DISABLE_ENV, load_native_kernels,
+                               native_status, probe_parallel_headroom)
+from repro.exec.plan import compile_plan
+from repro.jt.engine import JunctionTreeEngine
+from repro.jt.structure import compile_junction_tree
+
+from tests.test_exec import _make_edge, _message_state, _pool, _random_edge
+
+NATIVE_AVAILABLE, NATIVE_REASON = native_status()
+needs_native = pytest.mark.skipif(
+    not NATIVE_AVAILABLE, reason=f"native backend unavailable: {NATIVE_REASON}")
+
+#: Loosens wall-clock floors on slow machines (same knob as test_cluster).
+TIME_SLACK = max(1.0, float(os.environ.get("REPRO_TEST_TIME_SLACK", "1.0")))
+
+DATASETS = ("asia", "cancer", "sprinkler")
+
+
+@pytest.fixture(scope="module")
+def native():
+    backend, reason = load_native_kernels()
+    if backend is None:
+        pytest.skip(f"native backend unavailable: {reason}")
+    return backend
+
+
+@pytest.fixture(scope="module")
+def numpy_k():
+    return get_kernels("numpy")
+
+
+def _runs_from_values(values: np.ndarray) -> np.ndarray:
+    """Flat int64 [start, end) bounds of the nonzero stretches."""
+    padded = np.zeros(values.size + 2, dtype=bool)
+    padded[1:-1] = values != 0.0
+    return np.flatnonzero(padded[1:] != padded[:-1]).astype(np.int64)
+
+
+# -------------------------------------------------- randomized property duels
+@needs_native
+class TestNativeKernelsAgree:
+    """Native and numpy backends agree to 1e-12 over random geometries."""
+
+    @pytest.mark.parametrize("degenerate", [False, True])
+    @pytest.mark.parametrize("upward", [True, False])
+    def test_single_case_messages(self, native, numpy_k, degenerate, upward):
+        rng = np.random.default_rng(42 + degenerate)
+        for trial in range(30):
+            edge = _random_edge(rng, degenerate)
+            src, dst, sep = _message_state(rng, edge, upward)
+            d1, s1 = dst.copy(), sep.copy()
+            d2, s2 = dst.copy(), sep.copy()
+            log1 = numpy_k.message(src.copy(), d1, s1, edge, upward)
+            log2 = native.message(src.copy(), d2, s2, edge, upward)
+            assert log1 == pytest.approx(log2, abs=1e-12), trial
+            np.testing.assert_allclose(s1, s2, atol=1e-12, rtol=0)
+            np.testing.assert_allclose(d1, d2, atol=1e-12, rtol=0)
+
+    @pytest.mark.parametrize("degenerate", [False, True])
+    @pytest.mark.parametrize("upward", [True, False])
+    def test_batched_messages(self, native, numpy_k, degenerate, upward):
+        rng = np.random.default_rng(7 + degenerate)
+        for trial in range(20):
+            edge = _random_edge(rng, degenerate)
+            rows = [_message_state(rng, edge, upward) for _ in range(3)]
+            src = np.stack([r[0] for r in rows])
+            dst = np.stack([r[1] for r in rows])
+            sep = np.stack([r[2] for r in rows])
+            d1, s1 = dst.copy(), sep.copy()
+            d2, s2 = dst.copy(), sep.copy()
+            log1 = numpy_k.message_batch(src.copy(), d1, s1, edge, upward)
+            log2 = native.message_batch(src.copy(), d2, s2, edge, upward)
+            np.testing.assert_allclose(log1, log2, atol=1e-12, rtol=0)
+            np.testing.assert_allclose(s1, s2, atol=1e-12, rtol=0)
+            np.testing.assert_allclose(d1, d2, atol=1e-12, rtol=0)
+
+    def test_separator_equals_clique(self, native, numpy_k):
+        """Degenerate: separator == clique (nothing to sum out)."""
+        rng = np.random.default_rng(3)
+        pool = _pool(rng, False)
+        edge = _make_edge(pool[:3], pool[:4], pool[:3])
+        assert edge.up_axes == ()
+        src, dst, sep = _message_state(rng, edge, True)
+        d1, s1, d2, s2 = dst.copy(), sep.copy(), dst.copy(), sep.copy()
+        log1 = numpy_k.message(src.copy(), d1, s1, edge, True)
+        log2 = native.message(src.copy(), d2, s2, edge, True)
+        assert log1 == pytest.approx(log2, abs=1e-12)
+        np.testing.assert_allclose(d1, d2, atol=1e-12, rtol=0)
+
+    def test_size_one_separator(self, native, numpy_k):
+        """Degenerate: all separator variables have cardinality 1."""
+        from repro.bn.variable import Variable
+
+        one = Variable("v0", ("only",))
+        a, b = Variable("v1", ("x", "y")), Variable("v2", ("p", "q", "r"))
+        edge = _make_edge([one, a], [one, b], [one])
+        assert edge.sep_size == 1
+        rng = np.random.default_rng(5)
+        src, dst, sep = _message_state(rng, edge, True)
+        d1, s1, d2, s2 = dst.copy(), sep.copy(), dst.copy(), sep.copy()
+        log1 = numpy_k.message(src.copy(), d1, s1, edge, True)
+        log2 = native.message(src.copy(), d2, s2, edge, True)
+        assert log1 == pytest.approx(log2, abs=1e-12)
+        np.testing.assert_allclose(d1, d2, atol=1e-12, rtol=0)
+
+    def test_empty_message_raises(self, native):
+        rng = np.random.default_rng(11)
+        edge = _random_edge(rng, False)
+        src, dst, sep = _message_state(rng, edge, True)
+        with pytest.raises(EvidenceError, match="zero probability"):
+            native.message(np.zeros_like(src), dst, sep, edge, True)
+        batch = np.zeros((2, src.size))
+        with pytest.raises(EvidenceError, match="case 5"):
+            native.message_batch(
+                batch, np.stack([dst, dst]), np.stack([sep, sep]),
+                edge, True, case_offset=5)
+
+    @pytest.mark.parametrize("upward", [True, False])
+    def test_skip_lists_change_nothing(self, native, numpy_k, upward):
+        """Messages with nonzero-run skip lists equal dense messages.
+
+        Zeros are imposed on random stretches of src and dst (zeros in
+        src contribute nothing to a marginal; zeros in dst stay zero
+        under multiplication), exactly the entries the plan's base-table
+        run lists let the C loops jump over.
+        """
+        rng = np.random.default_rng(17)
+        for trial in range(20):
+            edge = _random_edge(rng, False)
+            src, dst, sep = _message_state(rng, edge, upward)
+            for values in (src, dst):
+                if values.size > 4:
+                    dead = rng.choice(values.size, size=values.size // 3,
+                                      replace=False)
+                    values[dead] = 0.0
+            if not src.any():
+                continue
+            skips = (_runs_from_values(src), _runs_from_values(dst))
+            d1, s1 = dst.copy(), sep.copy()
+            d2, s2 = dst.copy(), sep.copy()
+            try:
+                log1 = numpy_k.message(src.copy(), d1, s1, edge, upward)
+            except EvidenceError:
+                continue  # dead sep entries can zero the whole marginal
+            log2 = native.message(src.copy(), d2, s2, edge, upward,
+                                  skips=skips)
+            assert log1 == pytest.approx(log2, abs=1e-12), trial
+            np.testing.assert_allclose(s1, s2, atol=1e-12, rtol=0)
+            np.testing.assert_allclose(d1, d2, atol=1e-12, rtol=0)
+
+
+# ------------------------------------------------------- zero-skip run lists
+class TestZeroSkipRuns:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_runs_cover_exactly_the_nonzero_entries(self, dataset):
+        plan = compile_plan(compile_junction_tree(load_dataset(dataset)))
+        runs = plan.zero_skip_runs()
+        assert len(runs) == len(plan.base_cliques)
+        for base, bounds in zip(plan.base_cliques, runs):
+            if bounds is None:
+                continue  # too few zeros to be worth skipping
+            mask = np.zeros(base.size, dtype=bool)
+            for lo, hi in bounds.reshape(-1, 2):
+                assert 0 <= lo < hi <= base.size
+                mask[lo:hi] = True
+            np.testing.assert_array_equal(mask, base != 0.0)
+
+    def test_dense_tables_opt_out(self):
+        """Cliques whose base tables have (almost) no zeros return None —
+        run bookkeeping would cost more than it skips."""
+        plan = compile_plan(compile_junction_tree(load_dataset("asia")))
+        runs = plan.zero_skip_runs()
+        frac = plan.ZERO_SKIP_MIN_FRAC
+        for base, bounds in zip(plan.base_cliques, runs):
+            n_zero = int(np.count_nonzero(base == 0.0))
+            if bounds is None:
+                assert n_zero < base.size * frac
+            else:
+                assert n_zero >= base.size * frac
+
+
+# ------------------------------------------------- full-schedule equivalence
+@needs_native
+class TestNativeSchedule:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_engine_matches_reference(self, dataset):
+        net = load_dataset(dataset)
+        reference = JunctionTreeEngine(net)
+        cases = [{}, dict([next(iter({v.name: v.states[0]
+                                      for v in net.variables}.items()))])]
+        with FastBNI(net, mode="seq", kernels="native") as engine:
+            assert engine.kernels.name == "native"
+            for case in cases:
+                got = engine.infer(case)
+                want = reference.infer(case)
+                assert got.log_evidence == pytest.approx(
+                    want.log_evidence, abs=1e-12)
+                for name in net.variable_names:
+                    np.testing.assert_allclose(
+                        got.posteriors[name], want.posteriors[name],
+                        atol=1e-12, rtol=0)
+            # The compiled-schedule fast path actually engaged.
+            assert engine.plan.__dict__.get("_native_schedule") not in (
+                None, False)
+
+    def test_impossible_evidence_surfaces_from_compiled_schedule(
+            self, native):
+        plan = compile_plan(compile_junction_tree(load_dataset("asia")))
+        state = plan.fresh_state()
+        for pot in state.clique_pot:
+            pot.values[:] = 0.0
+        with pytest.raises(EvidenceError, match="zero probability"):
+            run_message_schedule(plan, state, native)
+
+    def test_calibrate_states_matches_fused(self, native):
+        plan = compile_plan(compile_junction_tree(load_dataset("asia")))
+        fused = get_kernels("fused")
+        native_states = [plan.fresh_state() for _ in range(8)]
+        fused_states = [plan.fresh_state() for _ in range(8)]
+        sent = calibrate_states(plan, native_states, native, workers=2)
+        for state in fused_states:
+            run_message_schedule(plan, state, fused)
+        assert sent == 8 * len(plan.compiled_messages())
+        for a, b in zip(native_states, fused_states):
+            assert a.log_norm == pytest.approx(b.log_norm, abs=1e-12)
+            for pa, pb in zip(a.clique_pot, b.clique_pot):
+                np.testing.assert_allclose(pa.values, pb.values,
+                                           atol=1e-12, rtol=0)
+
+
+# --------------------------------------------------- registry and fallback
+class TestRegistryFallback:
+    def test_unknown_backend_error_enumerates_names(self):
+        with pytest.raises(BackendError,
+                           match="available backends: fused, native, numpy"):
+            get_kernels("cuda")
+
+    def test_disable_env_forces_fused_fallback(self, monkeypatch, caplog):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        _KERNEL_INSTANCES.pop("native", None)
+        try:
+            available, reason = native_status()
+            assert not available and DISABLE_ENV in reason
+            with caplog.at_level("WARNING", logger="repro.exec.kernels"):
+                backend = get_kernels("native")
+            assert backend.name == "fused"
+            assert backend is get_kernels("fused")
+            assert any("falling back to fused" in r.message
+                       for r in caplog.records)
+            # The engine still works end to end on the fallback.
+            with FastBNI(load_dataset("asia"), mode="seq",
+                         kernels="native") as engine:
+                assert engine.kernels.name == "fused"
+                engine.infer({})
+        finally:
+            _KERNEL_INSTANCES.pop("native", None)
+
+
+# ------------------------------------------------------- GIL and scaling
+@needs_native
+class TestGilRelease:
+    def test_foreign_calls_release_the_gil(self, native):
+        """A Python counter thread keeps running *during* one long native
+        call.  With the GIL held through the call the holder is blocked
+        in C and the counter cannot advance at all, so this witness is
+        machine-independent (works on a single core)."""
+        plan = compile_plan(compile_junction_tree(load_dataset("asia")))
+        states = [plan.fresh_state() for _ in range(2048)]
+        calibrate_states(plan, states[:8], native)  # compile schedule, warm
+        count = [0]
+        stop = threading.Event()
+
+        def ticker():
+            while not stop.is_set():
+                count[0] += 1
+
+        thread = threading.Thread(target=ticker, daemon=True)
+        thread.start()
+        best, detail = 0.0, ""
+        try:
+            time.sleep(0.05)
+            # Best of three: a single short window can report 0 when the
+            # hypervisor steals the second vCPU for its duration.
+            for _ in range(3):
+                for state in states:
+                    state.log_norm = 0.0
+                start_count = count[0]
+                start = time.perf_counter()
+                assert native.run_schedules(plan, states) is not None
+                elapsed = time.perf_counter() - start
+                during = count[0] - start_count
+                solo_start = count[0]
+                time.sleep(max(elapsed, 0.01))
+                solo = count[0] - solo_start
+                if solo and during / solo > best:
+                    best = during / solo
+                detail = (f"counter advanced {during} ticks during a "
+                          f"{elapsed * 1e3:.1f}ms native call vs {solo} "
+                          "ticks solo")
+                if best > 0.05:
+                    break
+        finally:
+            stop.set()
+            thread.join()
+        assert best > 0.05, (
+            f"{detail} — the GIL appears to be held through foreign calls")
+
+    def test_thread_dispatch_scales_where_hardware_allows(self, native):
+        """>1.3x at 2 workers — enforced only on machines that can show
+        it (4+ cores and a parallel-headroom probe clearing the floor);
+        smaller/shared boxes skip with the measured numbers."""
+        floor = 1.3 / TIME_SLACK
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            pytest.skip(f"only {cores} core(s): 2 workers + dispatcher "
+                        "cannot scale here")
+        headroom = probe_parallel_headroom(native._lib, threads=2)
+        if headroom < 1.35:
+            pytest.skip(f"parallel-headroom probe measured {headroom:.2f}x "
+                        "on this machine; the floor cannot be expressed")
+        plan = compile_plan(compile_junction_tree(load_dataset("asia")))
+        states = [plan.fresh_state() for _ in range(320)]
+
+        def timed(workers: int) -> float:
+            for state in states:
+                state.log_norm = 0.0
+            start = time.perf_counter()
+            calibrate_states(plan, states, native, workers=workers)
+            return time.perf_counter() - start
+
+        timed(1); timed(2)  # warm pool and arenas
+        serial = parallel = float("inf")
+        for _ in range(6):  # interleaved: steal hits both arms alike
+            serial = min(serial, timed(1))
+            parallel = min(parallel, timed(2))
+        scaling = serial / parallel
+        assert scaling > floor, (
+            f"thread-dispatch calibration scaled {scaling:.2f}x at 2 "
+            f"workers (floor {floor:.2f}x, headroom {headroom:.2f}x)")

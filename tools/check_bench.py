@@ -18,7 +18,20 @@ baseline and fails when the execution layer got slower:
    on the *same* machine;
 3. **correctness coupling** — the fresh ``max_abs_diff`` between kernel
    backends must stay at float64 round-off (< 1e-9), so a "speedup" can
-   never be bought with diverging answers.
+   never be bought with diverging answers;
+4. **native floors** — when the fresh report says the native C backend
+   built (``native.available``): the single-case speedup over fused must
+   stay above ``--min-native-speedup`` (default 1.5); the GIL-release
+   witness (Python-counter rate during native calls — collapses to ~0
+   if a change stops releasing the GIL, on any machine) must stay above
+   ``NATIVE_MIN_GIL_RELEASE``; and the 2-worker thread-dispatch scaling
+   must clear ``--min-thread-scaling`` (default 1.3) on machines that
+   can express it — 4+ cores and a parallel-headroom probe above the
+   floor.  Small/shared boxes (2-core CI runners, SMT vCPUs where two
+   memory-bound kernel streams serialise) degrade to a bounded-overhead
+   floor with an explicit printed note — the same machine-aware posture
+   as the cluster gate.  On compiler-less runners every native gate
+   skips with the recorded reason.
 
 With ``--sessions-fresh`` it additionally guards the streaming-session
 artifact (``BENCH_sessions.json``): the 0.75-overlap row's session-mode
@@ -129,6 +142,93 @@ def check(fresh: dict, baseline: dict, max_slowdown: float,
             "(must stay at float64 round-off)"
         )
     return failures
+
+
+#: Foreign calls must demonstrably drop the GIL: the report's counter
+#: witness (Python increments during native calls / solo rate) collapses
+#: to ~0 when the GIL is held through the call, on any machine.
+NATIVE_MIN_GIL_RELEASE = 0.05
+#: Cores below which the full thread-scaling floor degrades: with 2
+#: workers + the dispatching thread contending for < 4 cores (and small
+#: boxes typically being shared/SMT vCPUs where two memory-bound kernel
+#: streams serialise), the gate only demands bounded threading overhead —
+#: the same posture as the cluster small-box floor.
+NATIVE_FULL_FLOOR_CORES = 4
+#: Degraded floor on small boxes: threading may not *cost* much even
+#: where it cannot win.
+NATIVE_SMALL_BOX_FLOOR = 0.5
+
+
+def check_native(fresh: dict, min_native_speedup: float,
+                 min_thread_scaling: float) -> tuple[list[str], list[str]]:
+    """Native-backend floors: ``(failures, skip_notes)``.
+
+    Three gates, each applied only where it can honestly be measured:
+
+    * the single-case speedup floor whenever the native library built;
+    * the GIL-release witness (machine-independent) whenever it built;
+    * the thread-scaling floor when the machine has
+      ``NATIVE_FULL_FLOOR_CORES``+ cores *and* the pure-ALU headroom
+      probe shows two GIL-free calls can overlap at all — otherwise it
+      degrades to the bounded-overhead floor with a printed note.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    native = fresh.get("native")
+    if native is None:
+        notes.append("native gates skipped: report predates the native "
+                     "backend (schema 1)")
+        return failures, notes
+    if not native.get("available"):
+        notes.append("native gates skipped: backend unavailable on this "
+                     f"runner ({native.get('reason')})")
+        return failures, notes
+
+    speedup = float(fresh.get("single_case", {}).get("speedup_native")
+                    or 0.0)
+    if speedup < min_native_speedup:
+        failures.append(
+            f"native single-case speedup over fused is {speedup:.2f}x, "
+            f"below the {min_native_speedup:.2f}x floor")
+
+    scaling_row = fresh.get("thread_scaling") or {}
+    if "scaling" not in scaling_row:
+        failures.append("native backend is available but the report has "
+                        "no thread_scaling measurement")
+        return failures, notes
+    gil_release = float(scaling_row.get("gil_release") or 0.0)
+    if gil_release < NATIVE_MIN_GIL_RELEASE:
+        failures.append(
+            f"GIL-release witness is {gil_release:.3f} (floor "
+            f"{NATIVE_MIN_GIL_RELEASE}): native calls no longer release "
+            "the GIL")
+    headroom = float(scaling_row.get("headroom") or 0.0)
+    scaling = float(scaling_row["scaling"])
+    cores = int(scaling_row.get("cpu_count") or 0)
+    workers = scaling_row.get("workers")
+    if cores >= NATIVE_FULL_FLOOR_CORES and headroom >= min_thread_scaling:
+        if scaling < min_thread_scaling:
+            failures.append(
+                f"thread-dispatch calibration scaling is {scaling:.2f}x "
+                f"at {workers} workers, below the "
+                f"{min_thread_scaling:.2f}x floor (headroom probe showed "
+                f"{headroom:.2f}x is available on {cores} cores)")
+    else:
+        reason = (f"only {cores} core(s)"
+                  if cores < NATIVE_FULL_FLOOR_CORES else
+                  f"headroom probe measured {headroom:.2f}x")
+        notes.append(
+            f"thread-scaling floor degraded to bounded-overhead "
+            f"({NATIVE_SMALL_BOX_FLOOR:.2f}x): {reason} — this machine "
+            f"cannot express {min_thread_scaling:.2f}x (measured "
+            f"scaling: {scaling:.2f}x, GIL-release {gil_release:.2f})")
+        if scaling < NATIVE_SMALL_BOX_FLOOR:
+            failures.append(
+                f"thread-dispatch calibration scaling is {scaling:.2f}x "
+                f"at {workers} workers — threading costs more than the "
+                f"bounded-overhead floor ({NATIVE_SMALL_BOX_FLOOR:.2f}x) "
+                "even for a machine that cannot scale")
+    return failures, notes
 
 
 SESSIONS_SCHEMA = "fastbni-bench-sessions-v1"
@@ -338,6 +438,13 @@ def check_ablation(fresh: dict, baseline: dict | None = None, *,
             base_ratio = float(base.get("rps_ratio", 0.0))
             if base_ratio < min_contribution:
                 continue
+            if (name == "native_kernels"
+                    and not (fresh.get("native") or {}).get("available",
+                                                            True)):
+                # Toolchain-less runner: native fell back to fused, so
+                # the off-variant equals the baseline and there is no
+                # contribution to retain here.
+                continue
             required = 1.0 + retain_frac * (base_ratio - 1.0)
             fresh_ratio = float(row.get("rps_ratio", 0.0))
             if fresh_ratio < required:
@@ -361,6 +468,15 @@ def main(argv: list[str] | None = None) -> int:
                              "normalisation (0.25 = 25%%)")
     parser.add_argument("--min-speedup", type=float, default=1.2,
                         help="floor on the fresh fused single-case speedup")
+    parser.add_argument("--min-native-speedup", type=float, default=1.5,
+                        help="floor on the fresh native-over-fused "
+                             "single-case speedup (skipped with a reason "
+                             "when the native backend cannot build)")
+    parser.add_argument("--min-thread-scaling", type=float, default=1.3,
+                        help="floor on the native 2-worker thread-dispatch "
+                             "scaling (enforced only where the parallel-"
+                             "headroom probe shows the machine can "
+                             "express it)")
     parser.add_argument("--absolute", action="store_true",
                         help="skip machine normalisation (same-machine runs)")
     parser.add_argument("--sessions-fresh", default="",
@@ -403,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     failures: list[str] = []
+    skip_notes: list[str] = []
     fresh = None
     if args.fresh:
         fresh = json.loads(Path(args.fresh).read_text())
@@ -413,6 +530,10 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         failures += check(fresh, baseline, args.max_slowdown,
                           args.min_speedup, args.absolute)
+        native_failures, native_notes = check_native(
+            fresh, args.min_native_speedup, args.min_thread_scaling)
+        failures += native_failures
+        skip_notes += native_notes
     sessions_note = ""
     if args.sessions_fresh:
         sessions = json.loads(Path(args.sessions_fresh).read_text())
@@ -470,6 +591,8 @@ def main(argv: list[str] | None = None) -> int:
             ablation_note = (f", ablation: {len(rows)} component(s), top "
                              f"{top.get('component')} "
                              f"{float(top.get('rps_ratio', 0.0)):.2f}x")
+    for note in skip_notes:
+        print(f"note: {note}")
     if failures:
         print(f"\nBENCH REGRESSION ({len(failures)} problem(s)):",
               file=sys.stderr)
@@ -477,12 +600,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"- {failure}", file=sys.stderr)
         return 1
     exec_note = "exec check skipped"
+    native_note = ""
     if fresh is not None:
         speedup = fresh.get("single_case", {}).get("speedup_fused", 0.0)
         exec_note = (f"{len(load_rows(fresh))} rows within "
                      f"{args.max_slowdown:.0%} of baseline, fused speedup "
                      f"{speedup:.2f}x (floor {args.min_speedup:.2f}x)")
-    print(f"bench ok: {exec_note}"
+        if (fresh.get("native") or {}).get("available"):
+            native_speedup = fresh["single_case"].get("speedup_native") or 0.0
+            native_note = (f", native speedup {float(native_speedup):.2f}x "
+                           f"(floor {args.min_native_speedup:.2f}x)")
+            scaling_row = fresh.get("thread_scaling") or {}
+            if "scaling" in scaling_row:
+                native_note += (f", thread scaling "
+                                f"{float(scaling_row['scaling']):.2f}x")
+    print(f"bench ok: {exec_note}{native_note}"
           f"{sessions_note}{obs_note}{cluster_note}{ablation_note}")
     return 0
 
